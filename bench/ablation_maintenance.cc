@@ -1,0 +1,59 @@
+// Ablation A7 (Section 2.3): dynamic maintenance cost. Messages per join
+// (per-level lookups + link updates at existing nodes) should grow as
+// O(log n), matching plain Chord.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "hierarchy/generators.h"
+#include "maintenance/dynamic_crescendo.h"
+
+using namespace canon;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
+  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 4096);
+  bench::header("Ablation A7: dynamic maintenance cost",
+                "messages per join (lookup hops + nodes updated) vs n, "
+                "3-level hierarchy");
+
+  Rng rng(seed);
+  HierarchySpec hier;
+  hier.levels = 3;
+  hier.fanout = 10;
+  const IdSpace space(32);
+  DynamicCrescendo dyn(space);
+
+  TextTable table({"n (before join)", "lookup hops", "nodes updated",
+                   "messages", "log2(n)"});
+  std::uint64_t next_report = 256;
+  Summary hops;
+  Summary updated;
+  Summary messages;
+  while (dyn.size() < max_n) {
+    const auto ids = sample_unique_ids(1, space, rng);
+    if (dyn.links_by_id().contains(ids[0])) continue;
+    const auto paths = generate_hierarchy(1, hier, rng);
+    const MaintenanceCost c = dyn.join(OverlayNode{ids[0], paths[0], -1});
+    hops.add(c.lookup_hops);
+    updated.add(c.nodes_updated);
+    messages.add(c.messages());
+    if (dyn.size() == next_report) {
+      table.add_row({TextTable::num(next_report),
+                     TextTable::num(hops.mean(), 1),
+                     TextTable::num(updated.mean(), 1),
+                     TextTable::num(messages.mean(), 1),
+                     TextTable::num(std::log2(
+                         static_cast<double>(next_report)), 1)});
+      next_report *= 2;
+      hops = Summary{};
+      updated = Summary{};
+      messages = Summary{};
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(expected: messages track a small multiple of log2(n), as "
+               "in plain Chord)\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the experiment binaries: flag parsing and headers.
+// Every bench accepts --seed=<u64> plus experiment-specific size/trial
+// flags so results are reproducible and scalable.
+#ifndef CANON_BENCH_BENCH_UTIL_H
+#define CANON_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace canon::bench {
+
+/// Parses "--name=value" from argv; returns `fallback` if absent.
+inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("== %s ==\n", title);
+  std::printf("   reproduces: %s\n\n", paper_ref);
+}
+
+}  // namespace canon::bench
+
+#endif  // CANON_BENCH_BENCH_UTIL_H

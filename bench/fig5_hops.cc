@@ -1,0 +1,57 @@
+// Figure 5: average number of routing hops vs. network size, levels 1-5.
+//
+// Expected shape (paper): ~0.5*log2(n) + c; a small constant increase
+// (at most ~0.7) as the number of levels grows, mirroring the slight drop
+// in links.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "canon/crescendo.h"
+#include "common/table.h"
+#include "overlay/population.h"
+#include "overlay/routing.h"
+
+using namespace canon;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
+  const std::uint64_t min_n = bench::flag_u64(argc, argv, "min-nodes", 1024);
+  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 65536);
+  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 4000);
+  bench::header("Figure 5: average routing hops",
+                "avg #hops vs n, levels 1-5, fanout 10, Zipf(1.25)");
+
+  TextTable table({"nodes", "levels=1 (Chord)", "levels=2", "levels=3",
+                   "levels=4", "levels=5"});
+  for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
+    std::vector<std::string> row = {TextTable::num(n)};
+    for (int levels = 1; levels <= 5; ++levels) {
+      Rng rng(seed + levels);
+      PopulationSpec spec;
+      spec.node_count = n;
+      spec.hierarchy.levels = levels;
+      spec.hierarchy.fanout = 10;
+      const auto net = make_population(spec, rng);
+      const auto links = build_crescendo(net);
+      const RingRouter router(net, links);
+      Summary hops;
+      for (std::uint64_t t = 0; t < trials; ++t) {
+        const auto from =
+            static_cast<std::uint32_t>(rng.uniform(net.size()));
+        const NodeId key = net.space().wrap(rng());
+        const Route r = router.route(from, key);
+        if (!r.ok) {
+          std::cerr << "routing failure (broken structure)\n";
+          return 1;
+        }
+        hops.add(r.hops());
+      }
+      row.push_back(TextTable::num(hops.mean(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: ~0.5*log2(n)+c; deeper hierarchies cost at most "
+               "~0.7 extra hops)\n";
+  return 0;
+}

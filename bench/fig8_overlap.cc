@@ -1,0 +1,88 @@
+// Figure 8: overlap fraction between converging query paths as a function
+// of domain level, 32K nodes — the caching benefit metric.
+//
+// Two nodes drawn from the same level-d domain issue the same query; the
+// overlap fraction is the fraction of the second path (hops / latency)
+// shared with the first. Systems: Crescendo vs Chord (Prox.).
+//
+// Expected shape (paper): Chord's overlap is near zero at every level;
+// Crescendo's rises steeply with domain level, and latency overlap exceeds
+// hop overlap.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "canon/crescendo.h"
+#include "canon/proximity.h"
+#include "common/table.h"
+#include "overlay/metrics.h"
+#include "overlay/routing.h"
+#include "topology/physical_network.h"
+
+using namespace canon;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
+  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 32768);
+  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 3000);
+  bench::header("Figure 8: path overlap fraction vs domain level (32K)",
+                "hop & latency overlap of two same-domain queries; "
+                "Crescendo vs Chord (Prox.)");
+
+  Rng topo_rng(seed);
+  const PhysicalNetwork phys(TransitStubConfig{}, topo_rng);
+  Rng rng(seed + 1);
+  const auto net = make_physical_population(n, phys, 32, rng);
+  const HopCost cost = host_hop_cost(net, phys);
+  const GroupedOverlay groups(net, 16);
+  const ProximityConfig cfg;
+
+  const auto crescendo = build_crescendo(net);
+  const auto chord_prox = build_chord_prox(net, groups, cost, cfg, rng);
+  const RingRouter crescendo_router(net, crescendo);
+  const GroupRouter chord_router(net, groups, chord_prox);
+
+  TextTable table({"domain level", "Crescendo hops", "Crescendo latency",
+                   "Chord(Prox) hops", "Chord(Prox) latency"});
+  const char* labels[] = {"Top Level", "Level 1", "Level 2", "Level 3",
+                          "Level 4"};
+  for (int level = 0; level <= 4; ++level) {
+    Summary cr_hops;
+    Summary cr_ms;
+    Summary ch_hops;
+    Summary ch_ms;
+    Rng qrng(seed + 11 + level);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      // Two distinct nodes from the same level-`level` domain, one common
+      // random key.
+      const auto first =
+          static_cast<std::uint32_t>(qrng.uniform(net.size()));
+      const int domain = net.domains().domain_of(first, level);
+      const RingView ring = net.domain_ring(domain);
+      if (ring.size() < 2) continue;
+      std::uint32_t second = ring.at(qrng.uniform(ring.size()));
+      if (second == first) continue;
+      const NodeId key = net.space().wrap(qrng());
+
+      const Route c1 = crescendo_router.route(first, key);
+      const Route c2 = crescendo_router.route(second, key);
+      if (c1.ok && c2.ok) {
+        if (const auto f = hop_overlap_fraction(c1, c2)) cr_hops.add(*f);
+        if (const auto f = cost_overlap_fraction(c1, c2, cost)) cr_ms.add(*f);
+      }
+      const Route p1 = chord_router.route(first, key);
+      const Route p2 = chord_router.route(second, key);
+      if (p1.ok && p2.ok) {
+        if (const auto f = hop_overlap_fraction(p1, p2)) ch_hops.add(*f);
+        if (const auto f = cost_overlap_fraction(p1, p2, cost)) ch_ms.add(*f);
+      }
+    }
+    table.add_row({labels[level], TextTable::num(cr_hops.mean(), 3),
+                   TextTable::num(cr_ms.mean(), 3),
+                   TextTable::num(ch_hops.mean(), 3),
+                   TextTable::num(ch_ms.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper: Crescendo overlap climbs toward ~0.9 with domain "
+               "level, latency > hops; Chord stays near 0)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Microbenchmarks (google-benchmark): construction throughput of the main
+// link builders at several network sizes.
+#include <benchmark/benchmark.h>
+
+#include "canon/cancan.h"
+#include "canon/crescendo.h"
+#include "canon/kandy.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "overlay/population.h"
+
+namespace canon {
+namespace {
+
+OverlayNetwork population(std::int64_t n, int levels) {
+  Rng rng(42);
+  PopulationSpec spec;
+  spec.node_count = static_cast<std::size_t>(n);
+  spec.hierarchy.levels = levels;
+  spec.hierarchy.fanout = 10;
+  return make_population(spec, rng);
+}
+
+void BM_BuildChord(benchmark::State& state) {
+  const auto net = population(state.range(0), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_chord(net));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildChord)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_BuildCrescendo(benchmark::State& state) {
+  const auto net = population(state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_crescendo(net));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildCrescendo)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_BuildKandy(benchmark::State& state) {
+  const auto net = population(state.range(0), 4);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_kandy(net, BucketChoice::kClosest, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildKandy)->Arg(1024)->Arg(8192);
+
+void BM_BuildCanCan(benchmark::State& state) {
+  const auto net = population(state.range(0), 4);
+  for (auto _ : state) {
+    CanCanNetwork cancan(net);
+    benchmark::DoNotOptimize(cancan.links().total_links());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildCanCan)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace canon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmarks (google-benchmark): routing throughput for the greedy
+// ring router (Chord/Crescendo), lookahead and XOR routing.
+#include <benchmark/benchmark.h>
+
+#include "canon/crescendo.h"
+#include "canon/kandy.h"
+#include "dht/chord.h"
+#include "overlay/population.h"
+#include "overlay/routing.h"
+
+namespace canon {
+namespace {
+
+OverlayNetwork population(std::int64_t n, int levels) {
+  Rng rng(42);
+  PopulationSpec spec;
+  spec.node_count = static_cast<std::size_t>(n);
+  spec.hierarchy.levels = levels;
+  spec.hierarchy.fanout = 10;
+  return make_population(spec, rng);
+}
+
+void BM_RouteCrescendo(benchmark::State& state) {
+  const auto net = population(state.range(0), 4);
+  const auto links = build_crescendo(net);
+  const RingRouter router(net, links);
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    benchmark::DoNotOptimize(router.route(from, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCrescendo)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_RouteCrescendoLookahead(benchmark::State& state) {
+  const auto net = population(state.range(0), 4);
+  const auto links = build_crescendo(net);
+  const RingRouter router(net, links);
+  Rng rng(12);
+  for (auto _ : state) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    benchmark::DoNotOptimize(router.route_lookahead(from, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCrescendoLookahead)->Arg(8192);
+
+void BM_RouteKandy(benchmark::State& state) {
+  const auto net = population(state.range(0), 4);
+  Rng rng(13);
+  const auto links = build_kandy(net, BucketChoice::kClosest, rng);
+  const XorRouter router(net, links);
+  for (auto _ : state) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    benchmark::DoNotOptimize(router.route(from, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteKandy)->Arg(8192);
+
+}  // namespace
+}  // namespace canon
+
+BENCHMARK_MAIN();

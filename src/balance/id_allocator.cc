@@ -1,0 +1,160 @@
+#include "balance/id_allocator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace canon {
+
+namespace {
+
+bool contains_sorted(const std::vector<NodeId>& sorted, NodeId id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
+/// Partition of the member at `pos` in an ID-sorted ring: [id, next id).
+std::uint64_t partition_size(const std::vector<NodeId>& sorted,
+                             std::size_t pos, const IdSpace& space) {
+  const NodeId id = sorted[pos];
+  const NodeId next = sorted[(pos + 1) % sorted.size()];
+  const std::uint64_t d = space.ring_distance(id, next);
+  // A single node owns the whole ring.
+  return d == 0 ? space.mask() + 1 : d;
+}
+
+NodeId random_unique(const std::vector<NodeId>& existing, const IdSpace& space,
+                     Rng& rng) {
+  for (int attempt = 0; attempt < 1 << 16; ++attempt) {
+    const NodeId id = space.wrap(rng());
+    if (!contains_sorted(existing, id)) return id;
+  }
+  throw std::runtime_error("IdAllocator: identifier space exhausted");
+}
+
+}  // namespace
+
+NodeId RandomIdAllocator::allocate(const std::vector<NodeId>& existing,
+                                   const std::vector<NodeId>& /*domain_mates*/,
+                                   const IdSpace& space, Rng& rng) {
+  return random_unique(existing, space, rng);
+}
+
+NodeId BisectionIdAllocator::allocate(const std::vector<NodeId>& existing,
+                                      const std::vector<NodeId>& /*mates*/,
+                                      const IdSpace& space, Rng& rng) {
+  if (existing.size() < 2) return random_unique(existing, space, rng);
+  // 1. Random probe -> responsible node.
+  const NodeId probe = space.wrap(rng());
+  const auto succ = std::lower_bound(existing.begin(), existing.end(), probe);
+  const std::size_t responsible =
+      (succ == existing.begin() ? existing.size() : static_cast<std::size_t>(
+           succ - existing.begin())) - 1;
+  // 2. B-bit prefix bucket around the responsible node: B chosen so an
+  //    expected ~log2(n) nodes share a prefix.
+  const std::size_t n = existing.size();
+  const int logn = std::max(1, floor_log2(n));
+  const int b = std::max(0, ceil_log2(n / static_cast<std::size_t>(logn)));
+  const int shift = space.bits() - std::min(space.bits(), b);
+  const NodeId prefix = existing[responsible] >> shift;
+  // The bucket is a contiguous run in the sorted list.
+  std::size_t lo = responsible;
+  while (lo > 0 && (existing[lo - 1] >> shift) == prefix) --lo;
+  std::size_t hi = responsible + 1;
+  while (hi < n && (existing[hi] >> shift) == prefix) ++hi;
+  // 3. Bisect the largest partition in the bucket.
+  std::size_t best = lo;
+  std::uint64_t best_size = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::uint64_t s = partition_size(existing, i, space);
+    if (s > best_size) {
+      best_size = s;
+      best = i;
+    }
+  }
+  if (best_size < 2) return random_unique(existing, space, rng);
+  return space.advance(existing[best], best_size / 2);
+}
+
+NodeId HierarchicalIdAllocator::allocate(const std::vector<NodeId>& existing,
+                                         const std::vector<NodeId>& mates,
+                                         const IdSpace& space, Rng& rng) {
+  if (mates.size() < 2) {
+    return BisectionIdAllocator().allocate(existing, mates, space, rng);
+  }
+  // Section 4.3: the joiner chooses its top ~log log n bits so as to be as
+  // far apart from its domain-mates as possible; the remaining bits stay
+  // random. We bisect the largest gap between the mates' top-bit prefixes.
+  // Enough prefix slots to spread the current mates with constant slack
+  // (the paper's "top log log n bits" assumes small leaf domains; we let
+  // the prefix width track the domain size).
+  const int t = std::min(space.bits(), ceil_log2(mates.size()) + 3);
+  const int shift = space.bits() - t;
+  const IdSpace prefix_space(t);
+  std::vector<NodeId> prefixes;
+  prefixes.reserve(mates.size());
+  for (const NodeId m : mates) prefixes.push_back(m >> shift);
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  std::size_t best = 0;
+  std::uint64_t best_size = 0;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    const std::uint64_t s = partition_size(prefixes, i, prefix_space);
+    if (s > best_size) {
+      best_size = s;
+      best = i;
+    }
+  }
+  const NodeId prefix = prefix_space.advance(prefixes[best], best_size / 2);
+  // Within the chosen prefix block, keep the *global* partitioning even by
+  // bisecting the largest partition owned inside the block (or taking the
+  // block's midpoint when it is empty).
+  const NodeId block_lo = prefix << shift;
+  const std::uint64_t block_size = shift == 0 ? 1 : (NodeId{1} << shift);
+  const auto begin =
+      std::lower_bound(existing.begin(), existing.end(), block_lo);
+  const auto end = std::lower_bound(existing.begin(), existing.end(),
+                                    block_lo + block_size);
+  if (begin == end) {
+    const NodeId id = space.wrap(block_lo + block_size / 2);
+    if (!contains_sorted(existing, id)) return id;
+  } else {
+    std::size_t best_pos = 0;
+    std::uint64_t best_part = 0;
+    for (auto it = begin; it != end; ++it) {
+      const std::size_t pos =
+          static_cast<std::size_t>(it - existing.begin());
+      const std::uint64_t s = partition_size(existing, pos, space);
+      if (s > best_part) {
+        best_part = s;
+        best_pos = pos;
+      }
+    }
+    if (best_part >= 2) {
+      return space.advance(existing[best_pos], best_part / 2);
+    }
+  }
+  // Degenerate fallback: random ID within the block.
+  for (int attempt = 0; attempt < 1 << 16; ++attempt) {
+    const NodeId low = shift == 0 ? 0 : (rng() & ((NodeId{1} << shift) - 1));
+    const NodeId id = (prefix << shift) | low;
+    if (!contains_sorted(existing, id)) return id;
+  }
+  throw std::runtime_error("HierarchicalIdAllocator: space exhausted");
+}
+
+double partition_ratio(std::vector<NodeId> ids, const IdSpace& space) {
+  if (ids.size() < 2) {
+    throw std::invalid_argument("partition_ratio: need at least 2 IDs");
+  }
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t smallest = ~std::uint64_t{0};
+  std::uint64_t largest = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t s = partition_size(ids, i, space);
+    smallest = std::min(smallest, s);
+    largest = std::max(largest, s);
+  }
+  return static_cast<double>(largest) / static_cast<double>(smallest);
+}
+
+}  // namespace canon

@@ -1,0 +1,66 @@
+// Partition balance (Section 4.3).
+//
+// Random ID selection leaves a Theta(log^2 n) ratio between the largest
+// and smallest partition. The paper's fix ([11]): a joiner picks a random
+// ID, finds the responsible node, then bisects the largest partition among
+// the nodes sharing that node's B-bit ID prefix (B chosen so ~log n nodes
+// share a prefix), driving the ratio to a constant (4 w.h.p.). The
+// hierarchical variant additionally spreads a joiner away from its own
+// domain-mates so that partitions are balanced at every level of the
+// hierarchy, not just globally.
+#ifndef CANON_BALANCE_ID_ALLOCATOR_H
+#define CANON_BALANCE_ID_ALLOCATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace canon {
+
+/// Strategy for assigning an ID to a joining node. `existing` is the
+/// ID-sorted list of current members; `domain_mates` (possibly empty) are
+/// the IDs of current members of the joiner's lowest-level domain.
+class IdAllocator {
+ public:
+  virtual ~IdAllocator() = default;
+  virtual NodeId allocate(const std::vector<NodeId>& existing,
+                          const std::vector<NodeId>& domain_mates,
+                          const IdSpace& space, Rng& rng) = 0;
+};
+
+/// Baseline: uniformly random unique ID.
+class RandomIdAllocator : public IdAllocator {
+ public:
+  NodeId allocate(const std::vector<NodeId>& existing,
+                  const std::vector<NodeId>& domain_mates,
+                  const IdSpace& space, Rng& rng) override;
+};
+
+/// The paper's prefix-bucket bisection scheme.
+class BisectionIdAllocator : public IdAllocator {
+ public:
+  NodeId allocate(const std::vector<NodeId>& existing,
+                  const std::vector<NodeId>& domain_mates,
+                  const IdSpace& space, Rng& rng) override;
+};
+
+/// Hierarchical balance: the joiner bisects the largest gap between its
+/// own domain-mates (staying "as far apart from the other nodes in the
+/// domain as possible"), falling back to global bisection when the domain
+/// is empty.
+class HierarchicalIdAllocator : public IdAllocator {
+ public:
+  NodeId allocate(const std::vector<NodeId>& existing,
+                  const std::vector<NodeId>& domain_mates,
+                  const IdSpace& space, Rng& rng) override;
+};
+
+/// Ratio of the largest to the smallest partition over the ring of
+/// `ids` (which need not be sorted). Requires >= 2 IDs.
+double partition_ratio(std::vector<NodeId> ids, const IdSpace& space);
+
+}  // namespace canon
+
+#endif  // CANON_BALANCE_ID_ALLOCATOR_H

@@ -1,0 +1,143 @@
+#include "canon/cancan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+
+namespace canon {
+
+CanCanNetwork::CanCanNetwork(const OverlayNetwork& net)
+    : net_(&net), links_(net.size()) {
+  const DomainTree& dom = net.domains();
+  trees_.resize(static_cast<std::size_t>(dom.domain_count()));
+  for (int d = 0; d < dom.domain_count(); ++d) {
+    const auto& members = dom.domain(d).members;
+    trees_[static_cast<std::size_t>(d)] = std::make_unique<ZoneTree>(
+        net, std::span<const std::uint32_t>{members.data(), members.size()});
+  }
+
+  std::vector<std::uint32_t> face;
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto& chain = dom.domain_chain(m);
+    const int leaf = static_cast<int>(chain.size()) - 1;
+    // Leaf domain: every CAN edge.
+    for (const std::uint32_t v :
+         tree(chain[static_cast<std::size_t>(leaf)]).neighbors(m)) {
+      links_.add(m, v);
+    }
+    // Higher levels: a face edge survives the merge only if it is shorter
+    // than the shortest lower-level link *for that face* (the per-bucket
+    // reading of condition (b), as in Kandy). On the virtual hypercube a
+    // face at prefix position `pos` spans 2^(N-1-pos); the lower zone
+    // covers exactly the faces at positions < len(lower zone), so deeper
+    // faces are always kept, and a shallower face survives only when the
+    // lower domain has no member at all across it (its ID bucket is empty).
+    const int bits = net.space().bits();
+    for (int level = leaf - 1; level >= 0; --level) {
+      const RingView child_ring =
+          net.domain_ring(chain[static_cast<std::size_t>(level + 1)]);
+      const int lower_len =
+          tree(chain[static_cast<std::size_t>(level + 1)]).zone(m).len;
+      const ZoneTree& t = tree(chain[static_cast<std::size_t>(level)]);
+      const int len = t.zone(m).len;
+      for (int pos = 0; pos < len; ++pos) {
+        if (pos < lower_len) {
+          // Keep only if the child domain is empty across this face.
+          const std::uint64_t child_d = bucket_closest_distance(
+              net, child_ring, net.id(m), bits - 1 - pos);
+          if (child_d != kNoLimit) continue;
+        }
+        face.clear();
+        t.face_neighbors(m, pos, face);
+        for (const std::uint32_t v : face) links_.add(m, v);
+      }
+    }
+  }
+  links_.finalize();
+}
+
+std::uint32_t CanCanNetwork::responsible(NodeId key) const {
+  return tree(net_->domains().root()).owner_of(key);
+}
+
+CanCanRouter::CanCanRouter(const CanCanNetwork& network)
+    : network_(&network),
+      max_hops_(8 * network.net().space().bits() + 16) {}
+
+Route CanCanRouter::route(std::uint32_t from, NodeId key) const {
+  const OverlayNetwork& net = network_->net();
+  const IdSpace& space = net.space();
+  const DomainTree& dom = net.domains();
+  Route r;
+  r.path.push_back(from);
+  std::uint32_t current = from;
+  // Stage = the domain whose partition the message is currently finishing,
+  // starting at the source's leaf domain and lifting toward the root.
+  int stage_domain = dom.domain_chain(from).back();
+  // The XOR fallback can decrease the prefix match, so guard against
+  // revisiting a node (which would mean a routing cycle).
+  std::unordered_set<std::uint32_t> visited = {from};
+
+  for (int step = 0; step < max_hops_; ++step) {
+    const ZoneTree& t = network_->tree(stage_domain);
+    if (t.owner_of(key) == current) {
+      if (dom.domain(stage_domain).parent < 0) {
+        r.ok = true;  // finished the root partition
+        return r;
+      }
+      stage_domain = dom.domain(stage_domain).parent;
+      continue;  // lift the stage without consuming a hop
+    }
+    const int cur_match = t.match_len(current, key);
+    std::uint32_t best = current;
+    int best_match = cur_match;
+    for (const std::uint32_t nb : network_->links().neighbors(current)) {
+      if (!t.contains(nb) || visited.contains(nb)) continue;
+      const int m = t.match_len(nb, key);
+      if (m > best_match) {
+        best_match = m;
+        best = nb;
+      }
+    }
+    if (best == current) {
+      // The key's stage zone may be a short empty-sibling block: accept a
+      // neighbor that owns the key outright.
+      for (const std::uint32_t nb : network_->links().neighbors(current)) {
+        if (t.contains(nb) && !visited.contains(nb) &&
+            t.owner_of(key) == nb) {
+          best = nb;
+          break;
+        }
+      }
+    }
+    if (best == current) {
+      // Fallback for faces the merge filter removed: any stage-domain
+      // neighbor strictly closer to the key in XOR distance.
+      const std::uint64_t cur_d = space.xor_distance(net.id(current), key);
+      std::uint64_t best_d = cur_d;
+      for (const std::uint32_t nb : network_->links().neighbors(current)) {
+        if (!t.contains(nb) || visited.contains(nb)) continue;
+        const std::uint64_t d = space.xor_distance(net.id(nb), key);
+        if (d < best_d) {
+          best_d = d;
+          best = nb;
+        }
+      }
+      if (best != current) ++fallback_;
+    }
+    if (best == current) {
+      ++stuck_;
+      r.ok = false;
+      return r;
+    }
+    current = best;
+    visited.insert(current);
+    r.path.push_back(current);
+  }
+  r.ok = false;
+  return r;
+}
+
+}  // namespace canon

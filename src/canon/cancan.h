@@ -1,0 +1,73 @@
+// Can-Can: the Canonical version of the binary-prefix-tree CAN
+// (Section 3.4).
+//
+// Every domain of the hierarchy carries its own CAN zone partition over its
+// members. A node keeps all CAN edges of its leaf domain's partition; at
+// each higher level it keeps a face edge only if the edge is "shorter than
+// the shortest link at the lower level" — on the virtual hypercube a face
+// at prefix position i spans distance 2^(N-1-i), and the shortest
+// lower-level link is the sibling face of the lower zone (2^(N - len)), so
+// the rule keeps exactly the faces at positions >= len(lower zone).
+//
+// Routing proceeds stage by stage through progressively larger domains:
+// within the current domain's partition the message greedily extends the
+// prefix match with the key until it reaches the key's zone owner, then the
+// stage lifts to the parent domain.
+#ifndef CANON_CANON_CANCAN_H
+#define CANON_CANON_CANCAN_H
+
+#include <memory>
+#include <vector>
+
+#include "dht/can.h"
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+#include "overlay/routing.h"
+
+namespace canon {
+
+/// The per-domain zone partitions plus the Canon-filtered link table.
+class CanCanNetwork {
+ public:
+  explicit CanCanNetwork(const OverlayNetwork& net);
+
+  const OverlayNetwork& net() const { return *net_; }
+  const LinkTable& links() const { return links_; }
+
+  /// Zone partition of domain `d` (a DomainTree index).
+  const ZoneTree& tree(int d) const { return *trees_[static_cast<std::size_t>(d)]; }
+
+  /// The node that should answer `key` (owner of the key's zone in the
+  /// root partition).
+  std::uint32_t responsible(NodeId key) const;
+
+ private:
+  const OverlayNetwork* net_;
+  std::vector<std::unique_ptr<ZoneTree>> trees_;  // by domain index
+  LinkTable links_;
+};
+
+/// Staged greedy router over a CanCanNetwork (see file comment). Reports
+/// `stuck_count` across its lifetime: hops where no link improved the
+/// current stage's prefix match (a failed route).
+class CanCanRouter {
+ public:
+  explicit CanCanRouter(const CanCanNetwork& network);
+
+  Route route(std::uint32_t from, NodeId key) const;
+
+  /// Routes that dead-ended (failed).
+  std::size_t stuck_count() const { return stuck_; }
+  /// Hops that needed the XOR-distance fallback (route still succeeded).
+  std::size_t fallback_count() const { return fallback_; }
+
+ private:
+  const CanCanNetwork* network_;
+  int max_hops_;
+  mutable std::size_t stuck_ = 0;
+  mutable std::size_t fallback_ = 0;
+};
+
+}  // namespace canon
+
+#endif  // CANON_CANON_CANCAN_H

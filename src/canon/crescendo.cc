@@ -1,0 +1,34 @@
+#include "canon/crescendo.h"
+
+#include "dht/chord.h"
+
+namespace canon {
+
+void add_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
+                         LinkTable& out) {
+  const auto& chain = net.domains().domain_chain(m);
+  const int leaf = static_cast<int>(chain.size()) - 1;
+  // Leaf domain: plain Chord among the members.
+  add_chord_fingers(net, net.domain_ring(chain[static_cast<std::size_t>(leaf)]),
+                    m, kNoLimit, out);
+  // Merge levels, bottom-up: links must beat the child-ring successor.
+  for (int level = leaf - 1; level >= 0; --level) {
+    const std::uint64_t limit =
+        net.domain_ring(chain[static_cast<std::size_t>(level + 1)])
+            .successor_distance(net.id(m));
+    add_chord_fingers(net,
+                      net.domain_ring(chain[static_cast<std::size_t>(level)]),
+                      m, limit, out);
+  }
+}
+
+LinkTable build_crescendo(const OverlayNetwork& net) {
+  LinkTable out(net.size());
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    add_crescendo_links(net, m, out);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace canon

@@ -1,0 +1,34 @@
+#include "canon/kandy.h"
+
+#include "dht/chord.h"
+
+namespace canon {
+
+void add_kandy_links(const OverlayNetwork& net, std::uint32_t m,
+                     BucketChoice choice, MergePolicy policy, Rng& rng,
+                     LinkTable& out) {
+  const auto& chain = net.domains().domain_chain(m);
+  const int leaf = static_cast<int>(chain.size()) - 1;
+  add_kademlia_links(
+      net, net.domain_ring(chain[static_cast<std::size_t>(leaf)]), m,
+      /*child=*/nullptr, choice, policy, rng, out);
+  for (int level = leaf - 1; level >= 0; --level) {
+    const RingView child_ring =
+        net.domain_ring(chain[static_cast<std::size_t>(level + 1)]);
+    add_kademlia_links(
+        net, net.domain_ring(chain[static_cast<std::size_t>(level)]), m,
+        &child_ring, choice, policy, rng, out);
+  }
+}
+
+LinkTable build_kandy(const OverlayNetwork& net, BucketChoice choice, Rng& rng,
+                      MergePolicy policy) {
+  LinkTable out(net.size());
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    add_kandy_links(net, m, choice, policy, rng, out);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace canon

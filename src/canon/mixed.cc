@@ -1,0 +1,31 @@
+#include "canon/mixed.h"
+
+#include "dht/chord.h"
+
+namespace canon {
+
+LinkTable build_clique_crescendo(const OverlayNetwork& net) {
+  LinkTable out(net.size());
+  const DomainTree& dom = net.domains();
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto& chain = dom.domain_chain(m);
+    const int leaf = static_cast<int>(chain.size()) - 1;
+    // Leaf domain: complete graph.
+    const RingView leaf_ring =
+        net.domain_ring(chain[static_cast<std::size_t>(leaf)]);
+    for (const std::uint32_t v : leaf_ring.members()) out.add(m, v);
+    // Higher levels: the standard Crescendo merge.
+    for (int level = leaf - 1; level >= 0; --level) {
+      const std::uint64_t limit =
+          net.domain_ring(chain[static_cast<std::size_t>(level + 1)])
+              .successor_distance(net.id(m));
+      add_chord_fingers(
+          net, net.domain_ring(chain[static_cast<std::size_t>(level)]), m,
+          limit, out);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace canon

@@ -1,0 +1,19 @@
+// Mixed per-level structures (Section 3.5): the routing structure need not
+// be the same at every level. The paper's example links all nodes of a
+// lowest-level domain (e.g. one LAN with cheap broadcast) into a complete
+// graph, then merges the LANs with the usual Crescendo rule.
+#ifndef CANON_CANON_MIXED_H
+#define CANON_CANON_MIXED_H
+
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+/// Crescendo with a complete graph inside every leaf domain. Greedy
+/// clockwise routing crosses any leaf domain in one hop.
+LinkTable build_clique_crescendo(const OverlayNetwork& net);
+
+}  // namespace canon
+
+#endif  // CANON_CANON_MIXED_H

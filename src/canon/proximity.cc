@@ -1,0 +1,262 @@
+#include "canon/proximity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dht/chord.h"
+
+namespace canon {
+
+GroupedOverlay::GroupedOverlay(const OverlayNetwork& net,
+                               int target_group_size)
+    : net_(&net) {
+  if (target_group_size < 1) {
+    throw std::invalid_argument("GroupedOverlay: bad target group size");
+  }
+  const int bits = net.space().bits();
+  const std::size_t n = net.size();
+  if (n == 0) throw std::invalid_argument("GroupedOverlay: empty network");
+  prefix_bits_ = std::min(
+      bits, ceil_log2(std::max<std::uint64_t>(
+                1, n / static_cast<std::size_t>(target_group_size))));
+  shift_ = bits - prefix_bits_;
+
+  // Nodes are ID-sorted, so groups are contiguous runs of equal gid.
+  group_index_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId g = net.id(i) >> shift_;
+    if (groups_.empty() || groups_.back().gid != g) {
+      groups_.push_back(Group{g, {}});
+    }
+    groups_.back().members.push_back(i);
+    group_index_[i] = static_cast<int>(groups_.size()) - 1;
+  }
+}
+
+NodeId GroupedOverlay::gid_of_node(std::uint32_t node) const {
+  return net_->id(node) >> shift_;
+}
+
+int GroupedOverlay::group_index_of(std::uint32_t node) const {
+  return group_index_[node];
+}
+
+int GroupedOverlay::group_successor(NodeId g) const {
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), g,
+      [](const Group& grp, NodeId key) { return grp.gid < key; });
+  if (it == groups_.end()) return 0;
+  return static_cast<int>(it - groups_.begin());
+}
+
+int GroupedOverlay::responsible_group(NodeId key) const {
+  const NodeId g = gid_of_key(key);
+  const int succ = group_successor(g);
+  if (groups_[static_cast<std::size_t>(succ)].gid == g) return succ;
+  return (succ + static_cast<int>(groups_.size()) - 1) %
+         static_cast<int>(groups_.size());
+}
+
+std::uint32_t GroupedOverlay::responsible(NodeId key) const {
+  const auto& members =
+      groups_[static_cast<std::size_t>(responsible_group(key))].members;
+  const RingView view(net_->space(), net_->ids(),
+                      {members.data(), members.size()});
+  return view.predecessor_or_self(key);
+}
+
+std::uint64_t GroupedOverlay::group_distance(NodeId from_gid,
+                                             NodeId to_gid) const {
+  if (prefix_bits_ == 0) return 0;
+  const std::uint64_t mask = (prefix_bits_ == 64)
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << prefix_bits_) - 1;
+  return (to_gid - from_gid) & mask;
+}
+
+namespace {
+
+/// The latency-nearest of up to `samples` randomly sampled group members.
+std::uint32_t pick_nearest(const std::vector<std::uint32_t>& members,
+                           std::uint32_t from, const HopCost& latency,
+                           int samples, Rng& rng) {
+  std::uint32_t best = RingView::kNone;
+  double best_ms = 0;
+  const int budget = std::min<int>(samples, static_cast<int>(members.size()));
+  for (int i = 0; i < budget; ++i) {
+    const std::uint32_t cand =
+        budget == static_cast<int>(members.size())
+            ? members[static_cast<std::size_t>(i)]
+            : members[rng.uniform(members.size())];
+    if (cand == from) continue;
+    const double ms = latency(from, cand);
+    if (best == RingView::kNone || ms < best_ms) {
+      best = cand;
+      best_ms = ms;
+    }
+  }
+  return best;
+}
+
+/// Adds node `m`'s group-level Chord links: for each 0 <= k < T, the first
+/// non-empty group at group distance >= 2^k, capped (strictly) at
+/// `group_limit` group-distance (condition (b) at group granularity; pass
+/// kNoLimit for flat Chord Prox). Endpoints are latency-sampled.
+void add_group_links(const OverlayNetwork& /*net*/,
+                     const GroupedOverlay& groups,
+                     std::uint32_t m, std::uint64_t group_limit,
+                     const HopCost& latency, const ProximityConfig& cfg,
+                     Rng& rng, LinkTable& out) {
+  const int T = groups.prefix_bits();
+  const NodeId g = groups.gid_of_node(m);
+  for (int k = 0; k < T; ++k) {
+    const std::uint64_t dist = std::uint64_t{1} << k;
+    if (dist >= group_limit) break;
+    const std::uint64_t mask = (std::uint64_t{1} << T) - 1;
+    const int gi = groups.group_successor((g + dist) & mask);
+    const auto& target = groups.groups()[static_cast<std::size_t>(gi)];
+    const std::uint64_t covered = groups.group_distance(g, target.gid);
+    if (covered == 0 || covered >= group_limit) continue;
+    const std::uint32_t v =
+        pick_nearest(target.members, m, latency, cfg.sample_size, rng);
+    if (v != RingView::kNone) out.add(m, v);
+  }
+}
+
+void add_clique_links(const GroupedOverlay& groups, std::uint32_t m,
+                      LinkTable& out) {
+  const auto& mine =
+      groups.groups()[static_cast<std::size_t>(groups.group_index_of(m))];
+  for (const std::uint32_t v : mine.members) out.add(m, v);
+}
+
+}  // namespace
+
+LinkTable build_chord_prox(const OverlayNetwork& net,
+                           const GroupedOverlay& groups,
+                           const HopCost& latency, const ProximityConfig& cfg,
+                           Rng& rng) {
+  LinkTable out(net.size());
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    add_clique_links(groups, m, out);
+    add_group_links(net, groups, m, kNoLimit, latency, cfg, rng, out);
+  }
+  out.finalize();
+  return out;
+}
+
+LinkTable build_crescendo_prox(const OverlayNetwork& net,
+                               const GroupedOverlay& groups,
+                               const HopCost& latency,
+                               const ProximityConfig& cfg, Rng& rng) {
+  LinkTable out(net.size());
+  const DomainTree& dom = net.domains();
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    add_clique_links(groups, m, out);
+    const auto& chain = dom.domain_chain(m);
+    const int leaf = static_cast<int>(chain.size()) - 1;
+    if (leaf == 0) {
+      // Flat population: the whole structure is group-based.
+      add_group_links(net, groups, m, kNoLimit, latency, cfg, rng, out);
+      continue;
+    }
+    // Normal Crescendo inside the leaf and at every merge except the root.
+    add_chord_fingers(net,
+                      net.domain_ring(chain[static_cast<std::size_t>(leaf)]),
+                      m, kNoLimit, out);
+    for (int level = leaf - 1; level >= 1; --level) {
+      const std::uint64_t limit =
+          net.domain_ring(chain[static_cast<std::size_t>(level + 1)])
+              .successor_distance(net.id(m));
+      add_chord_fingers(
+          net, net.domain_ring(chain[static_cast<std::size_t>(level)]), m,
+          limit, out);
+    }
+    // Top-level merge: group-based, with condition (b) at group
+    // granularity — only groups strictly closer than the group of the
+    // child-ring successor.
+    const RingView child = net.domain_ring(chain[1]);
+    const std::uint32_t succ = child.first_at_distance(net.id(m), 1);
+    std::uint64_t group_limit = kNoLimit;
+    if (succ != RingView::kNone && succ != m) {
+      group_limit = groups.group_distance(groups.gid_of_node(m),
+                                          groups.gid_of_node(succ));
+      if (group_limit == 0) continue;  // child successor shares the group
+    }
+    add_group_links(net, groups, m, group_limit, latency, cfg, rng, out);
+  }
+  out.finalize();
+  return out;
+}
+
+GroupRouter::GroupRouter(const OverlayNetwork& net,
+                         const GroupedOverlay& groups, const LinkTable& links)
+    : net_(&net),
+      groups_(&groups),
+      links_(&links),
+      max_hops_(4 * net.space().bits() + 16) {
+  if (!links.finalized()) {
+    throw std::invalid_argument("GroupRouter: link table not finalized");
+  }
+}
+
+Route GroupRouter::route(std::uint32_t from, NodeId key) const {
+  const IdSpace& space = net_->space();
+  const int target_group = groups_->responsible_group(key);
+  const NodeId target_gid =
+      groups_->groups()[static_cast<std::size_t>(target_group)].gid;
+  const std::uint32_t target = groups_->responsible(key);
+
+  Route r;
+  r.path.push_back(from);
+  std::uint32_t current = from;
+  for (int step = 0; step < max_hops_; ++step) {
+    if (current == target) {
+      r.ok = true;
+      return r;
+    }
+    const NodeId cur_gid = groups_->gid_of_node(current);
+    if (cur_gid == target_gid) {
+      // Final intra-group hop over the dense group network.
+      if (links_->has_link(current, target)) {
+        r.path.push_back(target);
+        r.ok = true;
+        return r;
+      }
+      r.ok = false;
+      return r;
+    }
+    // Greedy on group distance, never overshooting the target group; ties
+    // broken by clockwise ID progress toward the key.
+    const std::uint64_t remaining_groups =
+        groups_->group_distance(cur_gid, target_gid);
+    const std::uint64_t remaining_ids =
+        space.ring_distance(net_->id(current), key);
+    std::uint32_t best = current;
+    std::uint64_t best_gcov = 0;
+    std::uint64_t best_icov = 0;
+    for (const std::uint32_t nb : links_->neighbors(current)) {
+      const std::uint64_t gcov =
+          groups_->group_distance(cur_gid, groups_->gid_of_node(nb));
+      if (gcov > remaining_groups) continue;  // overshoots the target group
+      const std::uint64_t icov =
+          space.ring_distance(net_->id(current), net_->id(nb));
+      if (gcov == 0 && icov > remaining_ids) continue;
+      if (gcov > best_gcov || (gcov == best_gcov && icov > best_icov)) {
+        best_gcov = gcov;
+        best_icov = icov;
+        best = nb;
+      }
+    }
+    if (best == current) {
+      r.ok = false;
+      return r;
+    }
+    current = best;
+    r.path.push_back(current);
+  }
+  r.ok = false;
+  return r;
+}
+
+}  // namespace canon

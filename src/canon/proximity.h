@@ -1,0 +1,105 @@
+// Proximity adaptation (Section 3.6): group-based link construction.
+//
+// Nodes sharing the top T ID bits form a group; edge-creation rules apply
+// to group IDs, and the concrete endpoint inside a target group is chosen
+// as the lowest-latency node among up to `sample_size` sampled members
+// (the paper cites s = 32 as sufficient). Nodes within a group form a
+// separate dense network (here: a clique), "necessary even otherwise for
+// replication and fault tolerance". T is chosen so groups have a constant
+// expected size.
+//
+// Chord (Prox.) applies the group construction globally; Crescendo (Prox.)
+// builds normal Crescendo rings below the root and applies the group
+// construction only to the top-level merge.
+#ifndef CANON_CANON_PROXIMITY_H
+#define CANON_CANON_PROXIMITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "overlay/link_table.h"
+#include "overlay/metrics.h"
+#include "overlay/overlay_network.h"
+#include "overlay/routing.h"
+
+namespace canon {
+
+struct ProximityConfig {
+  int target_group_size = 16;  ///< expected nodes per group
+  int sample_size = 32;        ///< latency samples per group link (s)
+};
+
+/// The grouping of an overlay's nodes by their top-T ID bits.
+class GroupedOverlay {
+ public:
+  GroupedOverlay(const OverlayNetwork& net, int target_group_size);
+
+  struct Group {
+    NodeId gid = 0;
+    std::vector<std::uint32_t> members;  ///< ascending by ID
+  };
+
+  /// Number of bits in a group ID (T). 0 means a single group.
+  int prefix_bits() const { return prefix_bits_; }
+  NodeId gid_of_key(NodeId key) const { return key >> shift_; }
+  NodeId gid_of_node(std::uint32_t node) const;
+
+  const std::vector<Group>& groups() const { return groups_; }
+  int group_index_of(std::uint32_t node) const;
+
+  /// Index of the first non-empty group with gid >= g (wrapping).
+  int group_successor(NodeId g) const;
+
+  /// Index of the group responsible for `key`: the largest non-empty gid
+  /// <= the key's gid (wrapping).
+  int responsible_group(NodeId key) const;
+
+  /// The node answering `key` under group-based responsibility: the
+  /// ring-predecessor of the key among the responsible group's members.
+  std::uint32_t responsible(NodeId key) const;
+
+  /// Clockwise distance between group IDs (mod 2^T).
+  std::uint64_t group_distance(NodeId from_gid, NodeId to_gid) const;
+
+ private:
+  const OverlayNetwork* net_;
+  int prefix_bits_ = 0;
+  int shift_ = 0;
+  std::vector<Group> groups_;            // ascending by gid
+  std::vector<int> group_index_;         // per node
+};
+
+/// Flat Chord with proximity adaptation: the Chord rule on group IDs, a
+/// latency-sampled endpoint per group link, plus intra-group cliques.
+LinkTable build_chord_prox(const OverlayNetwork& net,
+                           const GroupedOverlay& groups,
+                           const HopCost& latency, const ProximityConfig& cfg,
+                           Rng& rng);
+
+/// Crescendo with proximity adaptation at the top level only.
+LinkTable build_crescendo_prox(const OverlayNetwork& net,
+                               const GroupedOverlay& groups,
+                               const HopCost& latency,
+                               const ProximityConfig& cfg, Rng& rng);
+
+/// Two-phase greedy router for group-based structures: greedy clockwise on
+/// group IDs (never overshooting the responsible group), with ties broken
+/// by clockwise ID progress, then a final intra-group hop.
+class GroupRouter {
+ public:
+  GroupRouter(const OverlayNetwork& net, const GroupedOverlay& groups,
+              const LinkTable& links);
+
+  Route route(std::uint32_t from, NodeId key) const;
+
+ private:
+  const OverlayNetwork* net_;
+  const GroupedOverlay* groups_;
+  const LinkTable* links_;
+  int max_hops_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_CANON_PROXIMITY_H

@@ -1,0 +1,22 @@
+#include "common/ids.h"
+
+#include <array>
+
+namespace canon {
+
+std::string id_to_hex(NodeId id, int bits) {
+  static constexpr std::array<char, 16> digits = {'0', '1', '2', '3', '4', '5',
+                                                  '6', '7', '8', '9', 'a', 'b',
+                                                  'c', 'd', 'e', 'f'};
+  const int nibbles = (bits + 3) / 4;
+  std::string out(static_cast<std::size_t>(nibbles) + 2, '0');
+  out[0] = '0';
+  out[1] = 'x';
+  for (int i = 0; i < nibbles; ++i) {
+    out[static_cast<std::size_t>(2 + nibbles - 1 - i)] =
+        digits[(id >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace canon

@@ -1,0 +1,52 @@
+#include "common/rng.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace canon {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::uniform_in(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_in: lo > hi");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return (*this)();  // full 64-bit range
+  return lo + uniform(span);
+}
+
+double Rng::uniform_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  SplitMix64 sm(state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL));
+  return Rng(sm.next());
+}
+
+std::vector<NodeId> sample_unique_ids(std::size_t count, const IdSpace& space,
+                                      Rng& rng) {
+  if (space.bits() < 63 &&
+      static_cast<double>(count) > space.size() / 2.0) {
+    throw std::invalid_argument(
+        "sample_unique_ids: space too small for requested count");
+  }
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  while (ids.size() < count) {
+    const NodeId id = space.wrap(rng());
+    if (seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace canon

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in the repository takes an explicit 64-bit seed so that
+// benches and tests are reproducible run-to-run and machine-to-machine.
+// We implement xoshiro256** (seeded via SplitMix64) rather than relying on
+// std::mt19937_64 so the stream is fully specified by this repository.
+#ifndef CANON_COMMON_RNG_H
+#define CANON_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace canon {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, 256-bit state. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x6b61746f6e696321ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// A derived generator with an independent stream; useful for giving each
+  /// module of an experiment its own deterministic stream.
+  Rng fork(std::uint64_t stream);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Draws `count` distinct IDs uniformly at random from `space`.
+/// Throws std::invalid_argument if the space is too small to hold them.
+std::vector<NodeId> sample_unique_ids(std::size_t count, const IdSpace& space,
+                                      Rng& rng);
+
+}  // namespace canon
+
+#endif  // CANON_COMMON_RNG_H

@@ -1,0 +1,123 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace canon {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Summary::mean() const {
+  if (count_ == 0) throw std::logic_error("Summary::mean: empty");
+  return sum_ / static_cast<double>(count_);
+}
+
+double Summary::min() const {
+  if (count_ == 0) throw std::logic_error("Summary::min: empty");
+  return min_;
+}
+
+double Summary::max() const {
+  if (count_ == 0) throw std::logic_error("Summary::max: empty");
+  return max_;
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? var : 0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::add(std::int64_t value, std::uint64_t weight) {
+  buckets_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count_at(std::int64_t value) const {
+  const auto it = buckets_.find(value);
+  return it == buckets_.end() ? 0 : it->second;
+}
+
+double Histogram::pmf(std::int64_t value) const {
+  if (total_ == 0) return 0;
+  return static_cast<double>(count_at(value)) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::min() const {
+  if (buckets_.empty()) throw std::logic_error("Histogram::min: empty");
+  return buckets_.begin()->first;
+}
+
+std::int64_t Histogram::max() const {
+  if (buckets_.empty()) throw std::logic_error("Histogram::max: empty");
+  return buckets_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) throw std::logic_error("Histogram::mean: empty");
+  double s = 0;
+  for (const auto& [v, c] : buckets_) {
+    s += static_cast<double>(v) * static_cast<double>(c);
+  }
+  return s / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile: empty");
+  if (q < 0 || q > 1) throw std::invalid_argument("Histogram::quantile: q");
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t acc = 0;
+  for (const auto& [v, c] : buckets_) {
+    acc += c;
+    if (static_cast<double>(acc) >= target) return v;
+  }
+  return buckets_.rbegin()->first;
+}
+
+double Percentiles::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Percentiles::quantile: empty");
+  if (q < 0 || q > 1) throw std::invalid_argument("Percentiles::quantile: q");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Percentiles::mean() const {
+  if (samples_.empty()) throw std::logic_error("Percentiles::mean: empty");
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+}  // namespace canon

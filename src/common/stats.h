@@ -1,0 +1,80 @@
+// Streaming statistics accumulators used by the experiment harnesses.
+#ifndef CANON_COMMON_STATS_H
+#define CANON_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace canon {
+
+/// Accumulates a stream of doubles; answers mean / min / max / variance.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merges another summary into this one.
+  void merge(const Summary& other);
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Exact integer histogram (for degree distributions, hop counts, ...).
+class Histogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count_at(std::int64_t value) const;
+  /// Fraction of the mass at `value` (0 if empty).
+  double pmf(std::int64_t value) const;
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  /// Smallest value v such that at least `q` (in [0,1]) of the mass is <= v.
+  std::int64_t quantile(double q) const;
+
+  const std::map<std::int64_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Collects raw samples; answers arbitrary percentiles exactly.
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  /// `q` in [0,1]; nearest-rank percentile. Requires at least one sample.
+  double quantile(double q) const;
+  double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace canon
+
+#endif  // CANON_COMMON_STATS_H

@@ -1,0 +1,35 @@
+// Minimal aligned text-table printer for the experiment harnesses, so every
+// bench binary reports its figure/table in the same readable format.
+#ifndef CANON_COMMON_TABLE_H
+#define CANON_COMMON_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace canon {
+
+/// Collects rows of strings and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_COMMON_TABLE_H

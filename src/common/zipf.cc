@@ -1,0 +1,33 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace canon {
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  if (theta < 0) throw std::invalid_argument("ZipfSampler: theta < 0");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -theta);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace canon

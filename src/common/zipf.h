@@ -1,0 +1,40 @@
+// Zipfian sampling.
+//
+// The paper's hierarchy experiments place nodes into branches with a
+// Zipf(1.25) distribution ("the number of nodes in the k-th largest branch
+// is proportional to 1/k^1.25"), and the caching ablation uses a Zipfian
+// query popularity model. This sampler precomputes the CDF and draws in
+// O(log k) by binary search.
+#ifndef CANON_COMMON_ZIPF_H
+#define CANON_COMMON_ZIPF_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace canon {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^theta.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (theta == 0 is uniform).
+  ZipfSampler(std::size_t n, double theta);
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+  /// Draws one rank.
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double pmf(std::size_t k) const;
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace canon
+
+#endif  // CANON_COMMON_ZIPF_H

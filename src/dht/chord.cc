@@ -1,0 +1,28 @@
+#include "dht/chord.h"
+
+namespace canon {
+
+void add_chord_fingers(const OverlayNetwork& net, const RingView& ring,
+                       std::uint32_t m, std::uint64_t limit, LinkTable& out) {
+  const IdSpace& space = net.space();
+  const NodeId mid = net.id(m);
+  for (int k = 0; k < space.bits(); ++k) {
+    const std::uint64_t dist = std::uint64_t{1} << k;
+    if (dist >= limit) break;  // all further fingers are at least this far
+    const std::uint32_t v = ring.first_at_distance(mid, dist);
+    if (v == RingView::kNone || v == m) continue;
+    if (space.ring_distance(mid, net.id(v)) < limit) out.add(m, v);
+  }
+}
+
+LinkTable build_chord(const OverlayNetwork& net) {
+  LinkTable out(net.size());
+  const RingView ring = net.ring();
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    add_chord_fingers(net, ring, m, kNoLimit, out);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace canon

@@ -1,0 +1,56 @@
+#include "dht/iterative_lookup.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace canon {
+
+IterativeLookupResult iterative_lookup(const OverlayNetwork& net,
+                                       const LinkTable& links,
+                                       std::uint32_t from, NodeId key,
+                                       const IterativeLookupConfig& config) {
+  if (config.alpha < 1 || config.shortlist_size < 1) {
+    throw std::invalid_argument("iterative_lookup: bad config");
+  }
+  const IdSpace& space = net.space();
+  const auto closer = [&](std::uint32_t a, std::uint32_t b) {
+    return space.xor_distance(net.id(a), key) <
+           space.xor_distance(net.id(b), key);
+  };
+
+  IterativeLookupResult result;
+  std::vector<std::uint32_t> shortlist = {from};
+  std::unordered_set<std::uint32_t> known = {from};
+  std::unordered_set<std::uint32_t> queried;
+
+  for (;;) {
+    // Pick up to alpha closest unqueried shortlist members.
+    std::vector<std::uint32_t> batch;
+    for (const std::uint32_t c : shortlist) {
+      if (!queried.contains(c)) {
+        batch.push_back(c);
+        if (static_cast<int>(batch.size()) == config.alpha) break;
+      }
+    }
+    if (batch.empty()) break;  // converged
+    for (const std::uint32_t q : batch) {
+      queried.insert(q);
+      result.queried.push_back(q);
+      ++result.messages;
+      for (const std::uint32_t nb : links.neighbors(q)) {
+        if (known.insert(nb).second) shortlist.push_back(nb);
+      }
+    }
+    std::sort(shortlist.begin(), shortlist.end(), closer);
+    if (shortlist.size() > static_cast<std::size_t>(config.shortlist_size)) {
+      shortlist.resize(static_cast<std::size_t>(config.shortlist_size));
+    }
+  }
+
+  result.closest = shortlist.front();
+  result.ok = (result.closest == net.xor_closest(key));
+  return result;
+}
+
+}  // namespace canon

@@ -1,0 +1,42 @@
+// Kademlia's iterative node lookup (Maymounkov & Mazieres, Section 2.3 of
+// their paper): instead of forwarding a message hop by hop, the querier
+// keeps a shortlist of the closest nodes seen, repeatedly asks the closest
+// unqueried ones for *their* neighbors (FIND_NODE), and stops when the
+// shortlist no longer improves. Unlike pure greedy forwarding the querier
+// can sidestep local minima, which matters for Kandy's filtered tables.
+//
+// This simulates the protocol at message granularity: every FIND_NODE
+// issued is counted, and the result reports whether the true XOR-closest
+// node to the key was found.
+#ifndef CANON_DHT_ITERATIVE_LOOKUP_H
+#define CANON_DHT_ITERATIVE_LOOKUP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+struct IterativeLookupResult {
+  std::uint32_t closest = 0;  ///< best node found
+  bool ok = false;            ///< closest == global XOR-closest to the key
+  int messages = 0;           ///< FIND_NODE queries issued
+  std::vector<std::uint32_t> queried;  ///< nodes contacted, in order
+};
+
+struct IterativeLookupConfig {
+  int alpha = 3;          ///< concurrent queries per round
+  int shortlist_size = 8; ///< Kademlia's k: candidates kept
+};
+
+/// Runs one iterative lookup for `key` starting from node `from`.
+IterativeLookupResult iterative_lookup(const OverlayNetwork& net,
+                                       const LinkTable& links,
+                                       std::uint32_t from, NodeId key,
+                                       const IterativeLookupConfig& config = {});
+
+}  // namespace canon
+
+#endif  // CANON_DHT_ITERATIVE_LOOKUP_H

@@ -1,0 +1,71 @@
+// Kademlia (Maymounkov & Mazieres, IPTPS 2002): XOR-metric buckets. For
+// each 0 <= k < N a node links to a node at XOR distance in [2^k, 2^{k+1})
+// (the paper ignores Kademlia's per-bucket replication, as we do).
+//
+// Kandy (Section 3.3) applies the same rule per hierarchy level with the
+// nondeterministic-choice caveat of Section 3.2 translated to buckets: when
+// rings merge, a node may pick a bucket-k candidate only among nodes
+// strictly closer than every node of its own child ring *within that
+// bucket*. (A candidate in a bucket that is empty in the child ring is
+// always admissible; this keeps every domain's members Kademlia-complete
+// among themselves — the invariant hierarchical greedy XOR routing needs —
+// while adding no links for buckets the child ring already covers.)
+#ifndef CANON_DHT_KADEMLIA_H
+#define CANON_DHT_KADEMLIA_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "dht/chord.h"
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+/// How to resolve Kademlia's nondeterministic per-bucket choice.
+enum class BucketChoice {
+  kClosest,  ///< XOR-closest member of the bucket (deterministic)
+  kRandom,   ///< uniformly random member of the bucket
+};
+
+/// How the Canon merge treats a bucket the child ring already covers.
+enum class MergePolicy {
+  /// Take a merge link only when the child ring's bucket is empty. Keeps
+  /// the degree at the flat-Kademlia level (matching the paper's headline
+  /// degree claims) while preserving per-domain bucket completeness.
+  kFrugal,
+  /// The literal Section 3.3 rule: also take a candidate strictly closer
+  /// than the child ring's best in the bucket. Extra links per level,
+  /// slightly shorter XOR paths.
+  kLiteral,
+};
+
+/// Adds node `m`'s Kademlia bucket links over `ring`. If `child` is
+/// non-null (a sub-ring containing m), buckets are filtered per
+/// `MergePolicy` (see above). `replication` > 1 keeps up to that many
+/// links per bucket (real Kademlia's k-buckets, which the paper sets aside
+/// "for resilience"): the primary link follows `choice`, the extras are
+/// random distinct bucket members.
+void add_kademlia_links(const OverlayNetwork& net, const RingView& ring,
+                        std::uint32_t m, const RingView* child,
+                        BucketChoice choice, MergePolicy policy, Rng& rng,
+                        LinkTable& out, int replication = 1);
+
+/// XOR distance from `m` to its closest other member of `ring`
+/// (kNoLimit if `ring` holds only m).
+std::uint64_t closest_xor_distance(const OverlayNetwork& net,
+                                   const RingView& ring, std::uint32_t m);
+
+/// XOR distance from id `m_id` to the closest member of `ring` within the
+/// bucket [2^k, 2^{k+1}), or kNoLimit if that bucket is empty.
+std::uint64_t bucket_closest_distance(const OverlayNetwork& net,
+                                      const RingView& ring, NodeId m_id,
+                                      int k);
+
+/// Builds the complete flat Kademlia network.
+LinkTable build_kademlia(const OverlayNetwork& net, BucketChoice choice,
+                         Rng& rng, int replication = 1);
+
+}  // namespace canon
+
+#endif  // CANON_DHT_KADEMLIA_H

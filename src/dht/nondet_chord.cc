@@ -1,0 +1,45 @@
+#include "dht/nondet_chord.h"
+
+#include <algorithm>
+
+namespace canon {
+
+void add_nondet_chord_links(const OverlayNetwork& net, const RingView& ring,
+                            std::uint32_t m, std::uint64_t limit, Rng& rng,
+                            LinkTable& out) {
+  const IdSpace& space = net.space();
+  const NodeId mid = net.id(m);
+
+  // Successor link (distance >= 1), required for routing completeness.
+  const std::uint64_t succ_dist = ring.successor_distance(mid);
+  if (succ_dist < limit &&
+      succ_dist != std::numeric_limits<std::uint64_t>::max()) {
+    out.add(m, ring.first_at_distance(mid, 1));
+  }
+
+  for (int k = 0; k < space.bits(); ++k) {
+    const std::uint64_t lo_dist = std::uint64_t{1} << k;
+    if (lo_dist >= limit) break;
+    const std::uint64_t hi_dist =
+        std::min(limit, k + 1 >= space.bits()
+                            ? (space.mask() + (space.bits() == 64 ? 0 : 1))
+                            : (std::uint64_t{1} << (k + 1)));
+    if (hi_dist <= lo_dist) continue;
+    const NodeId start = space.advance(mid, lo_dist);
+    const std::size_t count = ring.count_in(start, hi_dist - lo_dist);
+    if (count == 0) continue;
+    out.add(m, ring.select_in(start, hi_dist - lo_dist, rng.uniform(count)));
+  }
+}
+
+LinkTable build_nondet_chord(const OverlayNetwork& net, Rng& rng) {
+  LinkTable out(net.size());
+  const RingView ring = net.ring();
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    add_nondet_chord_links(net, ring, m, kNoLimit, rng, out);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace canon

@@ -1,0 +1,36 @@
+// XOR-metric range utilities shared by the Kademlia/CAN families.
+//
+// The set {x : xor(center, x) < radius} (an "XOR ball") is a union of at
+// most `bits` aligned, contiguous ID ranges — one per set bit of `radius`.
+// Decomposing it lets bucket queries with a Canon distance limit run as a
+// handful of binary searches over ID-sorted member lists.
+#ifndef CANON_DHT_XOR_UTIL_H
+#define CANON_DHT_XOR_UTIL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+struct IdRange {
+  NodeId lo = 0;           ///< inclusive start (aligned to `size`)
+  std::uint64_t size = 0;  ///< power of two
+};
+
+/// Aligned ranges covering {x in [0,2^bits) : xor(center, x) < radius}.
+/// `radius` is clamped to the space size; radius 0 yields no ranges.
+std::vector<IdRange> xor_ball_ranges(NodeId center, std::uint64_t radius,
+                                     const IdSpace& space);
+
+/// The member of `ring` inside [lo, lo+size) minimizing XOR distance to
+/// `key`, or RingView::kNone if the range holds no member. The range must
+/// be aligned (lo % size == 0) and size a power of two.
+std::uint32_t xor_closest_in_range(const RingView& ring, NodeId lo,
+                                   std::uint64_t size, NodeId key);
+
+}  // namespace canon
+
+#endif  // CANON_DHT_XOR_UTIL_H

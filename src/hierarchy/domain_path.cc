@@ -1,0 +1,31 @@
+#include "hierarchy/domain_path.h"
+
+#include <algorithm>
+
+namespace canon {
+
+int DomainPath::lca_depth(const DomainPath& other) const {
+  const int limit = std::min(depth(), other.depth());
+  int d = 0;
+  while (d < limit && branches_[static_cast<std::size_t>(d)] ==
+                          other.branches_[static_cast<std::size_t>(d)]) {
+    ++d;
+  }
+  return d;
+}
+
+bool DomainPath::in_domain_of(const DomainPath& other, int level) const {
+  if (level < 0 || level > other.depth() || level > depth()) return false;
+  return lca_depth(other) >= level;
+}
+
+std::string DomainPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(branches_[i]);
+  }
+  return out;
+}
+
+}  // namespace canon

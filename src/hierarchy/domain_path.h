@@ -1,0 +1,59 @@
+// A node's position in the conceptual hierarchy (Section 2.1 of the paper).
+//
+// The paper's hierarchy is a tree of *domains*; system nodes hang off the
+// leaves. No global knowledge of the tree is required: each node knows only
+// its own path from the root, and any two nodes can compute their lowest
+// common ancestor (LCA) from their paths — exactly the two capabilities the
+// paper demands.
+#ifndef CANON_HIERARCHY_DOMAIN_PATH_H
+#define CANON_HIERARCHY_DOMAIN_PATH_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace canon {
+
+/// The branch-index path from the root domain to a node's leaf domain.
+/// An empty path means the node lives directly under the root (flat DHT).
+/// A path of length d places the node in a hierarchy with d+1 levels
+/// (level 0 = root, level d = leaf domain).
+class DomainPath {
+ public:
+  DomainPath() = default;
+  explicit DomainPath(std::vector<std::uint16_t> branches)
+      : branches_(std::move(branches)) {}
+  DomainPath(std::initializer_list<std::uint16_t> branches)
+      : branches_(branches) {}
+
+  /// Number of components; the node's leaf domain is at depth `depth()`.
+  int depth() const { return static_cast<int>(branches_.size()); }
+
+  /// Branch taken at level `level` (0-based, level < depth()).
+  std::uint16_t branch(int level) const {
+    return branches_[static_cast<std::size_t>(level)];
+  }
+
+  const std::vector<std::uint16_t>& branches() const { return branches_; }
+
+  /// Depth of the lowest common domain of this path and `other`:
+  /// 0 means only the root is shared.
+  int lca_depth(const DomainPath& other) const;
+
+  /// True if this node lies inside the domain identified by the first
+  /// `level` components of `other` (level 0 = root = always true).
+  bool in_domain_of(const DomainPath& other, int level) const;
+
+  /// Dotted representation, e.g. "2.0.7" ("" for the empty path).
+  std::string to_string() const;
+
+  friend bool operator==(const DomainPath&, const DomainPath&) = default;
+
+ private:
+  std::vector<std::uint16_t> branches_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_HIERARCHY_DOMAIN_PATH_H

@@ -1,0 +1,82 @@
+#include "hierarchy/domain_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace canon {
+
+DomainTree::DomainTree(const std::vector<DomainPath>& paths,
+                       const std::vector<NodeId>& ids) {
+  if (paths.size() != ids.size()) {
+    throw std::invalid_argument("DomainTree: paths/ids size mismatch");
+  }
+  const std::size_t n = paths.size();
+
+  // Order node indices by ID once; every domain's member list is a
+  // subsequence of this order and therefore also ID-sorted.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return ids[a] < ids[b]; });
+  for (std::size_t i = 1; i < n; ++i) {
+    if (ids[order[i - 1]] == ids[order[i]]) {
+      throw std::invalid_argument("DomainTree: duplicate node IDs");
+    }
+  }
+
+  node_domains_.assign(n, {});
+  domains_.push_back(Domain{});  // root
+  domains_[0].members = order;
+
+  // Recursively partition each domain's member list by the next path
+  // component. Iterative worklist to avoid deep recursion.
+  std::vector<int> work = {0};
+  while (!work.empty()) {
+    const int d = work.back();
+    work.pop_back();
+    const int depth = domains_[static_cast<std::size_t>(d)].depth;
+    // Bucket members by their branch at this depth; members whose path ends
+    // here stay attached to this domain as their leaf.
+    std::vector<std::pair<std::uint16_t, std::uint32_t>> buckets;
+    for (const std::uint32_t node :
+         domains_[static_cast<std::size_t>(d)].members) {
+      node_domains_[node].push_back(d);
+      if (paths[node].depth() > depth) {
+        buckets.emplace_back(paths[node].branch(depth), node);
+      }
+    }
+    if (buckets.empty()) continue;
+    std::stable_sort(buckets.begin(), buckets.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::size_t i = 0;
+    while (i < buckets.size()) {
+      const std::uint16_t branch = buckets[i].first;
+      Domain child;
+      child.parent = d;
+      child.depth = depth + 1;
+      child.branch = branch;
+      while (i < buckets.size() && buckets[i].first == branch) {
+        child.members.push_back(buckets[i].second);
+        ++i;
+      }
+      const int child_index = static_cast<int>(domains_.size());
+      domains_.push_back(std::move(child));
+      domains_[static_cast<std::size_t>(d)].children.push_back(child_index);
+      work.push_back(child_index);
+      max_depth_ = std::max(max_depth_, depth + 1);
+    }
+  }
+}
+
+int DomainTree::domain_of(std::uint32_t node, int level) const {
+  const auto& chain = node_domains_[node];
+  if (level < 0 || level >= static_cast<int>(chain.size())) {
+    throw std::out_of_range("DomainTree::domain_of: bad level");
+  }
+  return chain[static_cast<std::size_t>(level)];
+}
+
+}  // namespace canon

@@ -1,0 +1,71 @@
+// An index of the conceptual hierarchy over a concrete set of nodes.
+//
+// Canon's constructions repeatedly need "all nodes in the level-l domain of
+// node m, sorted by identifier". DomainTree materializes every non-empty
+// domain (every distinct path prefix) with its member list in ID-sorted
+// order, plus the chain of domains each node belongs to, so constructions
+// can run bottom-up in O(levels) lookups per node.
+#ifndef CANON_HIERARCHY_DOMAIN_TREE_H
+#define CANON_HIERARCHY_DOMAIN_TREE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "hierarchy/domain_path.h"
+
+namespace canon {
+
+/// One non-empty domain in the hierarchy.
+struct Domain {
+  int parent = -1;              ///< index of parent domain; -1 for root
+  int depth = 0;                ///< 0 = root
+  std::uint16_t branch = 0;     ///< branch index under the parent
+  std::vector<int> children;    ///< indices of child domains
+  std::vector<std::uint32_t> members;  ///< node indices, ascending by node ID
+};
+
+/// Immutable index of all non-empty domains for a fixed node population.
+///
+/// Node `i` is described by `paths[i]`; `ids[i]` orders members within each
+/// domain. Construction is O(n * depth) after an O(n log n) sort.
+class DomainTree {
+ public:
+  /// `paths` and `ids` must be the same length; IDs need not be sorted but
+  /// must be unique.
+  DomainTree(const std::vector<DomainPath>& paths,
+             const std::vector<NodeId>& ids);
+
+  std::size_t node_count() const { return node_domains_.size(); }
+  int domain_count() const { return static_cast<int>(domains_.size()); }
+  const Domain& domain(int d) const {
+    return domains_[static_cast<std::size_t>(d)];
+  }
+  int root() const { return 0; }
+
+  /// Maximum leaf-domain depth over all nodes (0 for a flat population).
+  int max_depth() const { return max_depth_; }
+
+  /// The domain containing node `node` at hierarchy level `level`
+  /// (0 = root). `level` must not exceed the node's own depth.
+  int domain_of(std::uint32_t node, int level) const;
+
+  /// Depth of node `node`'s leaf domain.
+  int node_depth(std::uint32_t node) const {
+    return static_cast<int>(node_domains_[node].size()) - 1;
+  }
+
+  /// All domains of node `node`, root first.
+  const std::vector<int>& domain_chain(std::uint32_t node) const {
+    return node_domains_[node];
+  }
+
+ private:
+  std::vector<Domain> domains_;
+  std::vector<std::vector<int>> node_domains_;  // per node: root..leaf
+  int max_depth_ = 0;
+};
+
+}  // namespace canon
+
+#endif  // CANON_HIERARCHY_DOMAIN_TREE_H

@@ -1,0 +1,76 @@
+#include "hierarchy/generators.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/zipf.h"
+
+namespace canon {
+
+namespace {
+
+/// Per-domain random permutation of branch ranks, so the Zipf "largest
+/// branch" is positioned randomly rather than always at index 0. Keyed by
+/// the path prefix so all nodes in one domain agree.
+class BranchShuffler {
+ public:
+  BranchShuffler(int fanout, Rng& rng) : fanout_(fanout), rng_(rng) {}
+
+  std::uint16_t map(const std::vector<std::uint16_t>& prefix,
+                    std::size_t rank) {
+    auto [it, inserted] = perms_.try_emplace(prefix);
+    if (inserted) {
+      it->second.resize(static_cast<std::size_t>(fanout_));
+      std::iota(it->second.begin(), it->second.end(), 0);
+      for (std::size_t i = it->second.size(); i > 1; --i) {
+        std::swap(it->second[i - 1], it->second[rng_.uniform(i)]);
+      }
+    }
+    return it->second[rank];
+  }
+
+ private:
+  int fanout_;
+  Rng& rng_;
+  std::map<std::vector<std::uint16_t>, std::vector<std::uint16_t>> perms_;
+};
+
+}  // namespace
+
+std::vector<DomainPath> generate_hierarchy(std::size_t count,
+                                           const HierarchySpec& spec,
+                                           Rng& rng) {
+  if (spec.levels < 1) throw std::invalid_argument("levels must be >= 1");
+  if (spec.fanout < 1) throw std::invalid_argument("fanout must be >= 1");
+  const int path_len = spec.levels - 1;
+
+  std::vector<DomainPath> paths;
+  paths.reserve(count);
+  if (path_len == 0) {
+    paths.assign(count, DomainPath{});
+    return paths;
+  }
+
+  ZipfSampler zipf(static_cast<std::size_t>(spec.fanout), spec.zipf_theta);
+  BranchShuffler shuffler(spec.fanout, rng);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint16_t> branches;
+    branches.reserve(static_cast<std::size_t>(path_len));
+    for (int level = 0; level < path_len; ++level) {
+      std::size_t rank;
+      if (spec.placement == Placement::kUniform) {
+        rank = rng.uniform(static_cast<std::uint64_t>(spec.fanout));
+      } else {
+        rank = zipf.sample(rng);
+      }
+      branches.push_back(shuffler.map(branches, rank));
+    }
+    paths.emplace_back(std::move(branches));
+  }
+  return paths;
+}
+
+}  // namespace canon

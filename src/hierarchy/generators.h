@@ -1,0 +1,37 @@
+// Synthetic hierarchy generators matching the paper's evaluation setup
+// (Section 5.1): a tree with fan-out `fanout` at every internal domain,
+// `levels` levels in total (1 = flat), and nodes assigned to leaves either
+// uniformly at random or with a per-domain Zipf(theta) branch popularity.
+#ifndef CANON_HIERARCHY_GENERATORS_H
+#define CANON_HIERARCHY_GENERATORS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "hierarchy/domain_path.h"
+
+namespace canon {
+
+enum class Placement {
+  kUniform,  ///< each branch chosen uniformly at random
+  kZipf,     ///< k-th most popular branch gets mass proportional to 1/k^theta
+};
+
+struct HierarchySpec {
+  int levels = 1;      ///< >= 1; 1 means a flat (single-domain) population
+  int fanout = 10;     ///< branches per internal domain (>= 1)
+  Placement placement = Placement::kZipf;
+  double zipf_theta = 1.25;  ///< the paper's exponent
+};
+
+/// Draws a domain path (of length levels-1) for each of `count` nodes.
+/// Branch popularity ranks are themselves shuffled per domain so that the
+/// "largest branch" is not always branch 0.
+std::vector<DomainPath> generate_hierarchy(std::size_t count,
+                                           const HierarchySpec& spec,
+                                           Rng& rng);
+
+}  // namespace canon
+
+#endif  // CANON_HIERARCHY_GENERATORS_H

@@ -1,0 +1,77 @@
+// Dynamic maintenance for Crescendo (Section 2.3).
+//
+// Crescendo's link structure is a deterministic function of the member set
+// (IDs + hierarchy positions), so maintenance reduces to (a) routing the
+// joiner's ID to its predecessor at every level (the paper's insertion
+// lookups), (b) computing the joiner's own links, and (c) notifying the
+// O(log n) existing nodes whose links or merge limits the change affects.
+// This class simulates that protocol: it maintains the link structure
+// incrementally across joins and leaves, counts the messages each
+// operation would send, and exposes per-level leaf sets (successor lists).
+//
+// The key invariant — verified by tests — is that the incrementally
+// maintained structure is identical to a from-scratch construction over
+// the surviving member set.
+#ifndef CANON_MAINTENANCE_DYNAMIC_CRESCENDO_H
+#define CANON_MAINTENANCE_DYNAMIC_CRESCENDO_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+struct MaintenanceCost {
+  int lookup_hops = 0;     ///< hops to locate per-level predecessors
+  int nodes_updated = 0;   ///< existing nodes whose links were recomputed
+  int messages() const { return lookup_hops + nodes_updated; }
+};
+
+class DynamicCrescendo {
+ public:
+  /// Starts from an initial population (may be empty).
+  DynamicCrescendo(IdSpace space, std::vector<OverlayNode> initial = {});
+
+  std::size_t size() const { return members_.size(); }
+
+  /// Current network (rebuilt after each membership change).
+  const OverlayNetwork& network() const { return *net_; }
+
+  /// Current links, as ID -> sorted neighbor IDs.
+  const std::map<NodeId, std::vector<NodeId>>& links_by_id() const {
+    return links_; }
+
+  /// Current links as a LinkTable over network() (for routing).
+  LinkTable link_table() const;
+
+  /// Adds a node. Throws on duplicate ID.
+  MaintenanceCost join(const OverlayNode& node);
+
+  /// Removes the node with this ID. Throws if absent.
+  MaintenanceCost leave(NodeId id);
+
+  /// The `count` successors of `id` within its level-`level` domain ring —
+  /// the paper's per-level leaf set.
+  std::vector<NodeId> leaf_set(NodeId id, int level, int count) const;
+
+ private:
+  void rebuild_network();
+  /// IDs whose links can change when `pivot` joins or leaves, computed on
+  /// the network that contains `pivot`.
+  std::vector<NodeId> affected_ids(std::uint32_t pivot) const;
+  void recompute_links(const std::vector<NodeId>& ids);
+  int count_lookup_hops(const OverlayNode& node) const;
+
+  IdSpace space_;
+  std::vector<OverlayNode> members_;
+  std::unique_ptr<OverlayNetwork> net_;
+  std::map<NodeId, std::vector<NodeId>> links_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_MAINTENANCE_DYNAMIC_CRESCENDO_H

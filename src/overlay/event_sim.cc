@@ -1,0 +1,81 @@
+#include "overlay/event_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace canon {
+
+EventSimulator::EventSimulator(const OverlayNetwork& net,
+                               const LinkTable& links, HopCost latency,
+                               EventSimConfig config)
+    : net_(&net),
+      links_(&links),
+      latency_(std::move(latency)),
+      config_(config),
+      load_(net.size(), 0),
+      busy_until_(net.size(), 0) {
+  if (!links.finalized()) {
+    throw std::invalid_argument("EventSimulator: links not finalized");
+  }
+}
+
+int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
+  if (from >= net_->size()) {
+    throw std::out_of_range("EventSimulator::submit: bad node");
+  }
+  LookupStats stats;
+  stats.from = from;
+  stats.key = key;
+  stats.issued_ms = at_ms;
+  const int id = static_cast<int>(lookups_.size());
+  lookups_.push_back(stats);
+  queue_.push(Event{at_ms, id, from});
+  return id;
+}
+
+std::uint32_t EventSimulator::next_hop(std::uint32_t node, NodeId key) const {
+  const IdSpace& space = net_->space();
+  const std::uint64_t remaining = space.ring_distance(net_->id(node), key);
+  std::uint32_t best = node;
+  std::uint64_t best_covered = 0;
+  for (const std::uint32_t nb : links_->neighbors(node)) {
+    const std::uint64_t covered =
+        space.ring_distance(net_->id(node), net_->id(nb));
+    if (covered <= remaining && covered > best_covered) {
+      best_covered = covered;
+      best = nb;
+    }
+  }
+  return best;
+}
+
+void EventSimulator::run() {
+  const int hop_guard = 4 * net_->space().bits() + 16;
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, ev.at_ms);
+    LookupStats& stats = lookups_[static_cast<std::size_t>(ev.lookup)];
+
+    // The message occupies the node from max(arrival, node free).
+    const double start =
+        std::max(ev.at_ms, busy_until_[ev.node]);
+    const double done = start + config_.processing_ms;
+    busy_until_[ev.node] = done;
+    ++load_[ev.node];
+
+    const std::uint32_t next = next_hop(ev.node, stats.key);
+    if (next == ev.node || stats.hops >= hop_guard) {
+      stats.completed_ms = done;
+      stats.ok = (stats.hops < hop_guard) &&
+                 (ev.node == net_->responsible(stats.key));
+      continue;
+    }
+    ++stats.hops;
+    const double hop_ms =
+        latency_ ? latency_(ev.node, next) : config_.default_hop_ms;
+    queue_.push(Event{done + hop_ms, ev.lookup, next});
+  }
+}
+
+}  // namespace canon

@@ -1,0 +1,77 @@
+#include "overlay/link_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace canon {
+
+LinkTable::LinkTable(std::size_t node_count) : out_(node_count) {}
+
+void LinkTable::add(std::uint32_t from, std::uint32_t to) {
+  if (from >= out_.size() || to >= out_.size()) {
+    throw std::out_of_range("LinkTable::add: node index out of range");
+  }
+  if (from == to) return;
+  out_[from].push_back(to);
+  finalized_ = false;
+}
+
+void LinkTable::finalize() {
+  for (auto& list : out_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  finalized_ = true;
+}
+
+std::span<const std::uint32_t> LinkTable::neighbors(std::uint32_t node) const {
+  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
+  const auto& list = out_[node];
+  return {list.data(), list.size()};
+}
+
+bool LinkTable::has_link(std::uint32_t from, std::uint32_t to) const {
+  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
+  const auto& list = out_[from];
+  return std::binary_search(list.begin(), list.end(), to);
+}
+
+std::size_t LinkTable::degree(std::uint32_t node) const {
+  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
+  return out_[node].size();
+}
+
+std::size_t LinkTable::total_links() const {
+  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
+  std::size_t total = 0;
+  for (const auto& list : out_) total += list.size();
+  return total;
+}
+
+double LinkTable::mean_degree() const {
+  if (out_.empty()) return 0;
+  return static_cast<double>(total_links()) / static_cast<double>(out_.size());
+}
+
+Histogram LinkTable::degree_histogram() const {
+  Histogram h;
+  for (std::uint32_t i = 0; i < out_.size(); ++i) {
+    h.add(static_cast<std::int64_t>(degree(i)));
+  }
+  return h;
+}
+
+void LinkTable::set_neighbors(std::uint32_t node,
+                              std::vector<std::uint32_t> neighbors) {
+  if (node >= out_.size()) {
+    throw std::out_of_range("LinkTable::set_neighbors: node out of range");
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  neighbors.erase(std::remove(neighbors.begin(), neighbors.end(), node),
+                  neighbors.end());
+  out_[node] = std::move(neighbors);
+}
+
+}  // namespace canon

@@ -1,0 +1,54 @@
+// Per-node out-link adjacency produced by the DHT link builders.
+//
+// The paper counts only out-degree ("the degree of a node refers to its
+// out-degree, and does not count incoming edges"); LinkTable mirrors that.
+#ifndef CANON_OVERLAY_LINK_TABLE_H
+#define CANON_OVERLAY_LINK_TABLE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace canon {
+
+/// Mutable while links are being added; `finalize()` sorts and deduplicates
+/// each neighbor list, after which the table is read-only.
+class LinkTable {
+ public:
+  explicit LinkTable(std::size_t node_count);
+
+  std::size_t node_count() const { return out_.size(); }
+
+  /// Records a directed link. Self-links are ignored. Duplicate links are
+  /// tolerated and collapsed by finalize().
+  void add(std::uint32_t from, std::uint32_t to);
+
+  /// Sorts and deduplicates every neighbor list. Idempotent.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Neighbors of `node` (requires finalize()).
+  std::span<const std::uint32_t> neighbors(std::uint32_t node) const;
+
+  /// True if the directed link from->to exists (requires finalize()).
+  bool has_link(std::uint32_t from, std::uint32_t to) const;
+
+  std::size_t degree(std::uint32_t node) const;
+  std::size_t total_links() const;
+  double mean_degree() const;
+  Histogram degree_histogram() const;
+
+  /// Replaces node `node`'s neighbor list (used by dynamic maintenance).
+  void set_neighbors(std::uint32_t node, std::vector<std::uint32_t> neighbors);
+
+ private:
+  std::vector<std::vector<std::uint32_t>> out_;
+  bool finalized_ = false;
+};
+
+}  // namespace canon
+
+#endif  // CANON_OVERLAY_LINK_TABLE_H

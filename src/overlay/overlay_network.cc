@@ -1,0 +1,185 @@
+#include "overlay/overlay_network.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace canon {
+
+namespace {
+
+std::vector<OverlayNode> sort_by_id(std::vector<OverlayNode> nodes,
+                                    const IdSpace& space) {
+  for (const auto& n : nodes) {
+    if (n.id != space.wrap(n.id)) {
+      throw std::invalid_argument("OverlayNetwork: ID outside the IdSpace");
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const OverlayNode& a, const OverlayNode& b) {
+              return a.id < b.id;
+            });
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i - 1].id == nodes[i].id) {
+      throw std::invalid_argument("OverlayNetwork: duplicate node IDs");
+    }
+  }
+  return nodes;
+}
+
+std::vector<NodeId> extract_ids(const std::vector<OverlayNode>& nodes) {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes.size());
+  for (const auto& n : nodes) ids.push_back(n.id);
+  return ids;
+}
+
+std::vector<DomainPath> extract_paths(const std::vector<OverlayNode>& nodes) {
+  std::vector<DomainPath> paths;
+  paths.reserve(nodes.size());
+  for (const auto& n : nodes) paths.push_back(n.domain);
+  return paths;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- RingView
+
+std::size_t RingView::successor_pos(NodeId key) const {
+  if (members_.empty()) throw std::logic_error("RingView: empty view");
+  // First member with id >= key; wrap to position 0 if none.
+  const auto cmp = [this](std::uint32_t m, NodeId k) {
+    return (*ids_)[m] < k;
+  };
+  const auto it = std::lower_bound(members_.begin(), members_.end(), key, cmp);
+  return it == members_.end() ? 0
+                              : static_cast<std::size_t>(it - members_.begin());
+}
+
+std::uint32_t RingView::successor(NodeId key) const {
+  return members_[successor_pos(key)];
+}
+
+std::uint32_t RingView::predecessor_or_self(NodeId key) const {
+  if (members_.empty()) throw std::logic_error("RingView: empty view");
+  const std::size_t pos = successor_pos(key);
+  // If the successor sits exactly on the key, it manages the key itself;
+  // otherwise the manager is the member just before the successor.
+  if ((*ids_)[members_[pos]] == key) return members_[pos];
+  return members_[(pos + members_.size() - 1) % members_.size()];
+}
+
+std::uint32_t RingView::first_at_distance(NodeId from,
+                                          std::uint64_t dist) const {
+  if (members_.empty()) throw std::logic_error("RingView: empty view");
+  if (dist > space_.mask()) return kNone;
+  return successor(space_.advance(from, dist));
+}
+
+std::size_t RingView::count_in(NodeId lo, std::uint64_t len) const {
+  if (members_.empty() || len == 0) return 0;
+  if (space_.bits() < 64 && len >= (std::uint64_t{1} << space_.bits())) {
+    return members_.size();
+  }
+  const NodeId hi = space_.advance(lo, len);  // exclusive end
+  const auto cmp = [this](std::uint32_t m, NodeId k) {
+    return (*ids_)[m] < k;
+  };
+  const std::size_t plo = static_cast<std::size_t>(
+      std::lower_bound(members_.begin(), members_.end(), lo, cmp) -
+      members_.begin());
+  const std::size_t phi = static_cast<std::size_t>(
+      std::lower_bound(members_.begin(), members_.end(), hi, cmp) -
+      members_.begin());
+  if (lo < hi) {
+    // Non-wrapping interval [lo, hi).
+    return phi - plo;
+  }
+  // Wrapping interval: [lo, 2^N) plus [0, hi). (lo == hi means the full
+  // ring, which the same expression handles.)
+  return (members_.size() - plo) + phi;
+}
+
+std::uint32_t RingView::select_in(NodeId lo, std::uint64_t len,
+                                  std::size_t k) const {
+  if (k >= count_in(lo, len)) {
+    throw std::out_of_range("RingView::select_in: k out of range");
+  }
+  const std::size_t start = successor_pos(lo);
+  return members_[(start + k) % members_.size()];
+}
+
+std::uint64_t RingView::successor_distance(NodeId from) const {
+  if (members_.empty()) throw std::logic_error("RingView: empty view");
+  const std::uint32_t succ = successor(space_.advance(from, 1));
+  const std::uint64_t d = space_.ring_distance(from, (*ids_)[succ]);
+  if (d == 0) {
+    // The only member ahead is `from` itself: the view is a singleton
+    // containing from. Treat the distance as unbounded.
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return d;
+}
+
+// ---------------------------------------------------------- OverlayNetwork
+
+OverlayNetwork::OverlayNetwork(IdSpace space, std::vector<OverlayNode> nodes)
+    : space_(space),
+      nodes_(sort_by_id(std::move(nodes), space)),
+      ids_(extract_ids(nodes_)),
+      tree_(extract_paths(nodes_), ids_) {}
+
+RingView OverlayNetwork::ring() const {
+  return domain_ring(tree_.root());
+}
+
+RingView OverlayNetwork::domain_ring(int d) const {
+  const auto& members = tree_.domain(d).members;
+  return RingView(space_, ids_, {members.data(), members.size()});
+}
+
+std::uint32_t OverlayNetwork::responsible(NodeId key) const {
+  return ring().predecessor_or_self(key);
+}
+
+std::uint32_t OverlayNetwork::xor_closest(NodeId key) const {
+  if (nodes_.empty()) throw std::logic_error("OverlayNetwork: empty");
+  // Walk the bits of the key from the top, keeping the range of sorted IDs
+  // that matches the best achievable prefix.
+  std::size_t lo = 0;
+  std::size_t hi = nodes_.size();
+  NodeId prefix = 0;
+  for (int b = space_.bits() - 1; b >= 0; --b) {
+    if (hi - lo == 1) break;
+    const NodeId want = prefix | (key & (NodeId{1} << b));
+    // Split [lo, hi) at the first ID whose bit b is 1 (IDs are sorted, and
+    // all share `prefix` above bit b).
+    const NodeId split = prefix | (NodeId{1} << b);
+    const auto it = std::lower_bound(ids_.begin() + static_cast<long>(lo),
+                                     ids_.begin() + static_cast<long>(hi),
+                                     split);
+    const std::size_t mid = static_cast<std::size_t>(it - ids_.begin());
+    const bool want_one = (want >> b) & 1;
+    const bool preferred_nonempty = want_one ? (mid < hi) : (lo < mid);
+    // Descend into the preferred subtree when possible, otherwise into the
+    // (necessarily non-empty) other one.
+    const bool take_one = preferred_nonempty ? want_one : !want_one;
+    if (take_one) {
+      lo = mid;
+      prefix = split;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::uint32_t>(lo);
+}
+
+std::uint32_t OverlayNetwork::index_of(NodeId id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) {
+    throw std::invalid_argument("OverlayNetwork::index_of: unknown ID");
+  }
+  return static_cast<std::uint32_t>(it - ids_.begin());
+}
+
+}  // namespace canon

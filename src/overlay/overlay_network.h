@@ -1,0 +1,126 @@
+// The static overlay-network model shared by every DHT construction.
+//
+// An OverlayNetwork is an immutable population of nodes, each with a unique
+// N-bit identifier, a position in the conceptual hierarchy, and (optionally)
+// an attachment point in a physical topology. Nodes are indexed 0..n-1 in
+// ascending ID order; a DomainTree indexes every non-empty domain.
+//
+// Link construction (src/dht, src/canon) and routing (routing.h) are layered
+// on top of this class; it owns no links itself.
+#ifndef CANON_OVERLAY_OVERLAY_NETWORK_H
+#define CANON_OVERLAY_OVERLAY_NETWORK_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "hierarchy/domain_path.h"
+#include "hierarchy/domain_tree.h"
+
+namespace canon {
+
+/// One participant node, as supplied by the caller.
+struct OverlayNode {
+  NodeId id = 0;        ///< unique identifier within the network's IdSpace
+  DomainPath domain;    ///< position in the conceptual hierarchy
+  std::int32_t attach = -1;  ///< router index in a physical topology, or -1
+};
+
+/// A search view over an ID-sorted member list (a "ring" in Chord terms).
+/// Used for finger computation, responsibility lookups and range counting
+/// within any domain. Cheap to copy; does not own the member list.
+class RingView {
+ public:
+  RingView(const IdSpace& space, const std::vector<NodeId>& ids,
+           std::span<const std::uint32_t> members)
+      : space_(space), ids_(&ids), members_(members) {}
+
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  std::uint32_t at(std::size_t pos) const { return members_[pos]; }
+  std::span<const std::uint32_t> members() const { return members_; }
+
+  /// Position of the first member with ID >= key, wrapping to 0 past the
+  /// end. Requires a non-empty view.
+  std::size_t successor_pos(NodeId key) const;
+
+  /// The member with the smallest ID >= key (wrapping): Chord's successor.
+  std::uint32_t successor(NodeId key) const;
+
+  /// The member managing `key` under the paper's responsibility rule
+  /// (footnote 3): largest ID <= key, wrapping.
+  std::uint32_t predecessor_or_self(NodeId key) const;
+
+  /// The closest member at ring distance >= dist from `from` (the standard
+  /// Chord finger target). `dist` may exceed the space size, in which case
+  /// there is no such member and nullopt-like sentinel kNone is returned.
+  std::uint32_t first_at_distance(NodeId from, std::uint64_t dist) const;
+
+  /// Number of members with ID in the wrapped interval [lo, lo+len).
+  std::size_t count_in(NodeId lo, std::uint64_t len) const;
+
+  /// The k-th member (k < count_in(lo, len)) of the wrapped interval,
+  /// in clockwise order starting at lo.
+  std::uint32_t select_in(NodeId lo, std::uint64_t len, std::size_t k) const;
+
+  /// Clockwise distance from `from` to the view's successor of `from`+1,
+  /// i.e. to the nearest other member ahead. Returns the full ring size if
+  /// the view contains only `from` itself.
+  std::uint64_t successor_distance(NodeId from) const;
+
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+ private:
+  IdSpace space_;
+  const std::vector<NodeId>* ids_;
+  std::span<const std::uint32_t> members_;
+};
+
+/// Immutable node population. See file comment.
+class OverlayNetwork {
+ public:
+  /// Sorts nodes by ID and indexes the hierarchy. Throws on duplicate IDs
+  /// or IDs outside the space.
+  OverlayNetwork(IdSpace space, std::vector<OverlayNode> nodes);
+
+  const IdSpace& space() const { return space_; }
+  std::size_t size() const { return nodes_.size(); }
+  const OverlayNode& node(std::uint32_t i) const { return nodes_[i]; }
+  NodeId id(std::uint32_t i) const { return nodes_[i].id; }
+
+  /// All node IDs in ascending order (node index i -> ids()[i]).
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+  const DomainTree& domains() const { return tree_; }
+
+  /// View over the entire population.
+  RingView ring() const;
+
+  /// View over the members of domain `d` (a DomainTree index).
+  RingView domain_ring(int d) const;
+
+  /// The node responsible for `key` (largest ID <= key, wrapping).
+  std::uint32_t responsible(NodeId key) const;
+
+  /// The node whose ID minimizes XOR distance to `key` (Kademlia target).
+  std::uint32_t xor_closest(NodeId key) const;
+
+  /// Node index with the given ID; throws if absent.
+  std::uint32_t index_of(NodeId id) const;
+
+  /// Depth of the lowest common domain of nodes a and b.
+  int lca_level(std::uint32_t a, std::uint32_t b) const {
+    return nodes_[a].domain.lca_depth(nodes_[b].domain);
+  }
+
+ private:
+  IdSpace space_;
+  std::vector<OverlayNode> nodes_;  // ascending by id
+  std::vector<NodeId> ids_;         // nodes_[i].id
+  DomainTree tree_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_OVERLAY_OVERLAY_NETWORK_H

@@ -1,0 +1,19 @@
+#include "overlay/population.h"
+
+namespace canon {
+
+OverlayNetwork make_population(const PopulationSpec& spec, Rng& rng) {
+  const IdSpace space(spec.id_bits);
+  const std::vector<NodeId> ids =
+      sample_unique_ids(spec.node_count, space, rng);
+  const std::vector<DomainPath> paths =
+      generate_hierarchy(spec.node_count, spec.hierarchy, rng);
+  std::vector<OverlayNode> nodes(spec.node_count);
+  for (std::size_t i = 0; i < spec.node_count; ++i) {
+    nodes[i].id = ids[i];
+    nodes[i].domain = paths[i];
+  }
+  return OverlayNetwork(space, std::move(nodes));
+}
+
+}  // namespace canon

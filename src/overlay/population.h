@@ -1,0 +1,25 @@
+// Convenience factory assembling an OverlayNetwork from the paper's
+// experimental knobs: node count, ID space, hierarchy shape and seed.
+#ifndef CANON_OVERLAY_POPULATION_H
+#define CANON_OVERLAY_POPULATION_H
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "hierarchy/generators.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+struct PopulationSpec {
+  std::size_t node_count = 1024;
+  int id_bits = kDefaultIdBits;
+  HierarchySpec hierarchy;
+};
+
+/// Draws unique random IDs and hierarchy positions and builds the network.
+OverlayNetwork make_population(const PopulationSpec& spec, Rng& rng);
+
+}  // namespace canon
+
+#endif  // CANON_OVERLAY_POPULATION_H

@@ -1,0 +1,99 @@
+#include "overlay/resilient_routing.h"
+
+#include <stdexcept>
+
+namespace canon {
+
+std::size_t FailureSet::dead_count() const {
+  std::size_t n = 0;
+  for (const bool d : dead_) n += d;
+  return n;
+}
+
+ResilientRingRouter::ResilientRingRouter(const OverlayNetwork& net,
+                                         const LinkTable& links,
+                                         const FailureSet& failures,
+                                         int leaf_set)
+    : net_(&net),
+      links_(&links),
+      failures_(&failures),
+      leaf_set_(leaf_set),
+      max_hops_(4 * net.space().bits() + 16) {
+  if (!links.finalized()) {
+    throw std::invalid_argument("ResilientRingRouter: links not finalized");
+  }
+}
+
+std::uint32_t ResilientRingRouter::live_responsible(NodeId key) const {
+  // Walk predecessors until a live one is found.
+  const RingView ring = net_->ring();
+  std::size_t pos = ring.successor_pos(key);
+  // predecessor_or_self semantics: if the successor sits on the key it is
+  // responsible, otherwise step back one.
+  if (net_->id(ring.at(pos)) != key) {
+    pos = (pos + ring.size() - 1) % ring.size();
+  }
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const std::uint32_t candidate =
+        ring.at((pos + ring.size() - i) % ring.size());
+    if (!failures_->dead(candidate)) return candidate;
+  }
+  throw std::logic_error("live_responsible: everyone is dead");
+}
+
+void ResilientRingRouter::live_candidates(
+    std::uint32_t m, std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (const std::uint32_t nb : links_->neighbors(m)) {
+    if (!failures_->dead(nb)) out.push_back(nb);
+  }
+  // Leaf sets: the next `leaf_set_` successors at every level.
+  const auto& chain = net_->domains().domain_chain(m);
+  for (const int d : chain) {
+    const RingView ring = net_->domain_ring(d);
+    if (ring.size() < 2) continue;
+    std::size_t pos = ring.successor_pos(
+        net_->space().advance(net_->id(m), 1));
+    for (int i = 0; i < leaf_set_; ++i) {
+      const std::uint32_t s = ring.at(pos);
+      if (s == m) break;  // wrapped all the way around
+      if (!failures_->dead(s)) out.push_back(s);
+      pos = (pos + 1) % ring.size();
+    }
+  }
+}
+
+Route ResilientRingRouter::route(std::uint32_t from, NodeId key) const {
+  if (failures_->dead(from)) {
+    throw std::invalid_argument("ResilientRingRouter: source is dead");
+  }
+  const IdSpace& space = net_->space();
+  Route r;
+  r.path.push_back(from);
+  std::uint32_t current = from;
+  std::vector<std::uint32_t> candidates;
+  for (int step = 0; step < max_hops_; ++step) {
+    const std::uint64_t remaining = space.ring_distance(net_->id(current), key);
+    live_candidates(current, candidates);
+    std::uint32_t best = current;
+    std::uint64_t best_covered = 0;
+    for (const std::uint32_t nb : candidates) {
+      const std::uint64_t covered =
+          space.ring_distance(net_->id(current), net_->id(nb));
+      if (covered <= remaining && covered > best_covered) {
+        best_covered = covered;
+        best = nb;
+      }
+    }
+    if (best == current) {
+      r.ok = (current == live_responsible(key));
+      return r;
+    }
+    current = best;
+    r.path.push_back(current);
+  }
+  r.ok = false;
+  return r;
+}
+
+}  // namespace canon

@@ -1,0 +1,67 @@
+// Failure-aware greedy routing.
+//
+// The paper's leaf sets (Section 2.3) exist so routing survives node
+// failures: when a finger or successor is dead, a node falls back to the
+// next-best live neighbor, and ultimately to its per-level successor list.
+// ResilientRingRouter simulates routing over a link structure in the
+// presence of a failed-node set: dead neighbors are skipped, and when a
+// node's own links give no live progress, the leaf set (the next `leaf_set`
+// successors at every level of its domain chain) is consulted — mirroring
+// what a real deployment keeps in soft state.
+#ifndef CANON_OVERLAY_RESILIENT_ROUTING_H
+#define CANON_OVERLAY_RESILIENT_ROUTING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+#include "overlay/routing.h"
+
+namespace canon {
+
+/// Live/dead state for the population; nodes are alive by default.
+class FailureSet {
+ public:
+  explicit FailureSet(std::size_t node_count) : dead_(node_count, false) {}
+
+  void kill(std::uint32_t node) { dead_[node] = true; }
+  void revive(std::uint32_t node) { dead_[node] = false; }
+  bool dead(std::uint32_t node) const { return dead_[node]; }
+  std::size_t dead_count() const;
+
+ private:
+  std::vector<bool> dead_;
+};
+
+class ResilientRingRouter {
+ public:
+  /// `leaf_set` = successors remembered per hierarchy level (paper: "each
+  /// node maintains a list of successors at every level").
+  ResilientRingRouter(const OverlayNetwork& net, const LinkTable& links,
+                      const FailureSet& failures, int leaf_set = 4);
+
+  /// Greedy clockwise routing from a live node, skipping dead neighbors
+  /// and falling back to leaf-set successors. Route::ok is set iff the
+  /// terminal is the key's responsible node *among live nodes*.
+  Route route(std::uint32_t from, NodeId key) const;
+
+  /// The live node responsible for `key` (closest live predecessor).
+  std::uint32_t live_responsible(NodeId key) const;
+
+ private:
+  /// Candidate next hops from `m`: live link-table neighbors plus live
+  /// leaf-set successors at every level.
+  void live_candidates(std::uint32_t m,
+                       std::vector<std::uint32_t>& out) const;
+
+  const OverlayNetwork* net_;
+  const LinkTable* links_;
+  const FailureSet* failures_;
+  int leaf_set_;
+  int max_hops_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_OVERLAY_RESILIENT_ROUTING_H

@@ -1,0 +1,141 @@
+#include "overlay/routing.h"
+
+#include <stdexcept>
+
+namespace canon {
+
+namespace {
+
+int hop_guard(const OverlayNetwork& net) {
+  // Generous upper bound; all routes in a correct structure finish in
+  // O(log n) << 4N hops. Exceeding this indicates a broken link table.
+  return 4 * net.space().bits() + 16;
+}
+
+}  // namespace
+
+RingRouter::RingRouter(const OverlayNetwork& net, const LinkTable& links)
+    : net_(&net), links_(&links), max_hops_(hop_guard(net)) {
+  if (links.node_count() != net.size()) {
+    throw std::invalid_argument("RingRouter: link table size mismatch");
+  }
+  if (!links.finalized()) {
+    throw std::invalid_argument("RingRouter: link table not finalized");
+  }
+}
+
+Route RingRouter::route(std::uint32_t from, NodeId key) const {
+  const IdSpace& space = net_->space();
+  Route r;
+  r.path.push_back(from);
+  std::uint32_t current = from;
+  for (int step = 0; step < max_hops_; ++step) {
+    const std::uint64_t remaining = space.ring_distance(net_->id(current), key);
+    // Choose the neighbor that covers the most clockwise distance without
+    // overshooting the key.
+    std::uint32_t best = current;
+    std::uint64_t best_covered = 0;
+    for (const std::uint32_t nb : links_->neighbors(current)) {
+      const std::uint64_t covered =
+          space.ring_distance(net_->id(current), net_->id(nb));
+      if (covered <= remaining && covered > best_covered) {
+        best_covered = covered;
+        best = nb;
+      }
+    }
+    if (best == current) {
+      r.ok = (current == net_->responsible(key));
+      return r;
+    }
+    current = best;
+    r.path.push_back(current);
+  }
+  r.ok = false;  // hop guard exceeded: structurally broken table
+  return r;
+}
+
+Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
+  const IdSpace& space = net_->space();
+  Route r;
+  r.path.push_back(from);
+  std::uint32_t current = from;
+  for (int step = 0; step < max_hops_; ++step) {
+    const NodeId cur_id = net_->id(current);
+    const std::uint64_t remaining = space.ring_distance(cur_id, key);
+    // Evaluate all 1-step and 2-step plans that never overshoot and commit
+    // to the whole plan with the smallest final remaining distance.
+    std::uint32_t best_v = current;
+    std::uint32_t best_w = current;  // == best_v for 1-step plans
+    std::uint64_t best_final = remaining;
+    for (const std::uint32_t v : links_->neighbors(current)) {
+      const std::uint64_t covered1 =
+          space.ring_distance(cur_id, net_->id(v));
+      if (covered1 == 0 || covered1 > remaining) continue;
+      const std::uint64_t after1 = remaining - covered1;
+      if (after1 < best_final) {
+        best_final = after1;
+        best_v = v;
+        best_w = v;
+      }
+      for (const std::uint32_t w : links_->neighbors(v)) {
+        const std::uint64_t covered2 =
+            space.ring_distance(net_->id(v), net_->id(w));
+        if (covered2 == 0 || covered2 > after1) continue;
+        const std::uint64_t after2 = after1 - covered2;
+        if (after2 < best_final) {
+          best_final = after2;
+          best_v = v;
+          best_w = w;
+        }
+      }
+    }
+    if (best_v == current) {
+      r.ok = (current == net_->responsible(key));
+      return r;
+    }
+    r.path.push_back(best_v);
+    if (best_w != best_v) r.path.push_back(best_w);
+    current = best_w;
+  }
+  r.ok = false;
+  return r;
+}
+
+XorRouter::XorRouter(const OverlayNetwork& net, const LinkTable& links)
+    : net_(&net), links_(&links), max_hops_(hop_guard(net)) {
+  if (links.node_count() != net.size()) {
+    throw std::invalid_argument("XorRouter: link table size mismatch");
+  }
+  if (!links.finalized()) {
+    throw std::invalid_argument("XorRouter: link table not finalized");
+  }
+}
+
+Route XorRouter::route(std::uint32_t from, NodeId key) const {
+  const IdSpace& space = net_->space();
+  Route r;
+  r.path.push_back(from);
+  std::uint32_t current = from;
+  for (int step = 0; step < max_hops_; ++step) {
+    const std::uint64_t remaining = space.xor_distance(net_->id(current), key);
+    std::uint32_t best = current;
+    std::uint64_t best_remaining = remaining;
+    for (const std::uint32_t nb : links_->neighbors(current)) {
+      const std::uint64_t d = space.xor_distance(net_->id(nb), key);
+      if (d < best_remaining) {
+        best_remaining = d;
+        best = nb;
+      }
+    }
+    if (best == current) {
+      r.ok = (current == net_->xor_closest(key));
+      return r;
+    }
+    current = best;
+    r.path.push_back(current);
+  }
+  r.ok = false;
+  return r;
+}
+
+}  // namespace canon

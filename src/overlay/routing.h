@@ -1,0 +1,70 @@
+// Greedy overlay routing (Section 2.2 of the paper).
+//
+// Routing in every Canon construction is plain greedy routing on the
+// relevant metric over the union of a node's links; the hierarchical
+// behaviour (intra-domain locality, inter-domain convergence) is emergent.
+//
+// * RingRouter: greedy clockwise, never overshooting the key. Terminates at
+//   the key's responsible node (its closest predecessor). Also implements
+//   Symphony's 1-step lookahead variant (Section 3.1).
+// * XorRouter: greedy XOR-distance reduction (Kademlia/CAN families).
+#ifndef CANON_OVERLAY_ROUTING_H
+#define CANON_OVERLAY_ROUTING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "overlay/link_table.h"
+#include "overlay/overlay_network.h"
+
+namespace canon {
+
+/// The hop-by-hop trace of one routed query.
+struct Route {
+  std::vector<std::uint32_t> path;  ///< node indices, source first
+  bool ok = false;  ///< true if routing reached the correct destination
+
+  int hops() const { return static_cast<int>(path.size()) - 1; }
+  std::uint32_t source() const { return path.front(); }
+  std::uint32_t terminal() const { return path.back(); }
+};
+
+/// Greedy clockwise routing for the Chord/Crescendo/Symphony families.
+class RingRouter {
+ public:
+  RingRouter(const OverlayNetwork& net, const LinkTable& links);
+
+  /// Routes from node `from` towards `key`; stops at the first node none of
+  /// whose neighbors can advance clockwise without overshooting the key.
+  /// Route::ok is set iff that node is the key's responsible node.
+  Route route(std::uint32_t from, NodeId key) const;
+
+  /// Greedy routing with a 1-step lookahead: examines neighbors' neighbors
+  /// and takes the first step of the best 2-step plan (Symphony, §3.1).
+  Route route_lookahead(std::uint32_t from, NodeId key) const;
+
+ private:
+  const OverlayNetwork* net_;
+  const LinkTable* links_;
+  int max_hops_;
+};
+
+/// Greedy XOR routing for the Kademlia/CAN families.
+class XorRouter {
+ public:
+  XorRouter(const OverlayNetwork& net, const LinkTable& links);
+
+  /// Routes by strictly decreasing XOR distance to `key`. Route::ok is set
+  /// iff the terminal node is the global XOR-closest node to the key.
+  Route route(std::uint32_t from, NodeId key) const;
+
+ private:
+  const OverlayNetwork* net_;
+  const LinkTable* links_;
+  int max_hops_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_OVERLAY_ROUTING_H

@@ -1,0 +1,48 @@
+#include "storage/cache.h"
+
+namespace canon {
+
+void NodeCache::put(NodeId key, const std::string& value, int level) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.answer.value = value;
+    it->second.answer.level = std::min(it->second.answer.level, level);
+    it->second.last_used = ++clock_;
+    return;
+  }
+  if (map_.size() >= capacity_) evict_one();
+  map_[key] = Slot{key, CachedAnswer{value, level}, ++clock_};
+}
+
+std::optional<NodeCache::CachedAnswer> NodeCache::get(NodeId key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  it->second.last_used = ++clock_;
+  return it->second.answer;
+}
+
+void NodeCache::invalidate(NodeId key) { map_.erase(key); }
+
+void NodeCache::evict_one() {
+  if (map_.empty()) return;
+  auto victim = map_.begin();
+  for (auto it = map_.begin(); it != map_.end(); ++it) {
+    const auto& [vk, vs] = *victim;
+    const auto& [k, s] = *it;
+    bool worse;  // "worse" = better eviction candidate
+    if (policy_ == CachePolicy::kLevelAware && s.answer.level != vs.answer.level) {
+      worse = s.answer.level > vs.answer.level;  // deeper level goes first
+    } else {
+      worse = s.last_used < vs.last_used;
+    }
+    if (worse) victim = it;
+  }
+  map_.erase(victim);
+}
+
+}  // namespace canon

@@ -1,0 +1,68 @@
+// Per-node answer caches with the paper's level-annotated replacement
+// policy (Section 4.2): copies cached at a proxy for a deep (large level
+// number) domain are cheap to lose — another copy likely exists one level
+// up — so eviction prefers them; plain LRU is provided for comparison.
+#ifndef CANON_STORAGE_CACHE_H
+#define CANON_STORAGE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+
+namespace canon {
+
+enum class CachePolicy {
+  kLevelAware,  ///< evict the deepest-level entry first, LRU within a level
+  kLru,         ///< classic least-recently-used
+};
+
+class NodeCache {
+ public:
+  NodeCache() = default;
+  NodeCache(std::size_t capacity, CachePolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  struct CachedAnswer {
+    std::string value;
+    int level = 0;  ///< hierarchy depth of the domain this copy serves
+  };
+
+  /// Inserts (or refreshes) an answer. A key already present keeps the
+  /// smaller (higher-priority) level annotation.
+  void put(NodeId key, const std::string& value, int level);
+
+  /// Lookup; refreshes recency on hit.
+  std::optional<CachedAnswer> get(NodeId key);
+
+  /// Drops a (stale) entry.
+  void invalidate(NodeId key);
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    NodeId key = 0;
+    CachedAnswer answer;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_one();
+
+  std::size_t capacity_ = 0;
+  CachePolicy policy_ = CachePolicy::kLevelAware;
+  std::unordered_map<NodeId, Slot> map_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace canon
+
+#endif  // CANON_STORAGE_CACHE_H

@@ -1,0 +1,44 @@
+#include "topology/latency_matrix.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace canon {
+
+LatencyMatrix::LatencyMatrix(const TransitStubTopology& topo)
+    : n_(topo.router_count()) {
+  ms_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+             std::numeric_limits<float>::infinity());
+  std::vector<double> dist(static_cast<std::size_t>(n_));
+  using Item = std::pair<double, int>;  // (distance, router)
+  for (int src = 0; src < n_; ++src) {
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    dist[static_cast<std::size_t>(src)] = 0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    queue.emplace(0.0, src);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      for (const auto& e : topo.edges(u)) {
+        const double nd = d + e.ms;
+        if (nd < dist[static_cast<std::size_t>(e.to)]) {
+          dist[static_cast<std::size_t>(e.to)] = nd;
+          queue.emplace(nd, e.to);
+        }
+      }
+    }
+    for (int v = 0; v < n_; ++v) {
+      const double d = dist[static_cast<std::size_t>(v)];
+      if (!(d < std::numeric_limits<double>::infinity())) {
+        throw std::logic_error("LatencyMatrix: topology is disconnected");
+      }
+      ms_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(v)] = static_cast<float>(d);
+    }
+  }
+}
+
+}  // namespace canon

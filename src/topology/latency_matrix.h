@@ -1,0 +1,33 @@
+// All-pairs shortest-path latencies over a router graph, computed with one
+// Dijkstra run per router (the graphs here have ~2000 routers, so the full
+// matrix fits comfortably in memory and builds in well under a second).
+#ifndef CANON_TOPOLOGY_LATENCY_MATRIX_H
+#define CANON_TOPOLOGY_LATENCY_MATRIX_H
+
+#include <vector>
+
+#include "topology/transit_stub.h"
+
+namespace canon {
+
+class LatencyMatrix {
+ public:
+  explicit LatencyMatrix(const TransitStubTopology& topo);
+
+  int router_count() const { return n_; }
+
+  /// Shortest-path latency in ms between two routers (0 when a == b).
+  /// Infinity never occurs: generated topologies are connected.
+  double latency(int a, int b) const {
+    return ms_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(b)];
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<float> ms_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_TOPOLOGY_LATENCY_MATRIX_H

@@ -1,0 +1,41 @@
+#include "topology/physical_network.h"
+
+#include <stdexcept>
+
+namespace canon {
+
+double PhysicalNetwork::mean_host_latency(int samples, Rng& rng) const {
+  const auto& stubs = topo_.stub_routers();
+  if (stubs.size() < 2) throw std::logic_error("no stub routers");
+  double total = 0;
+  for (int i = 0; i < samples; ++i) {
+    const int a = stubs[rng.uniform(stubs.size())];
+    const int b = stubs[rng.uniform(stubs.size())];
+    total += host_latency(a, b);
+  }
+  return total / samples;
+}
+
+OverlayNetwork make_physical_population(std::size_t count,
+                                        const PhysicalNetwork& phys,
+                                        int id_bits, Rng& rng) {
+  const IdSpace space(id_bits);
+  const auto ids = sample_unique_ids(count, space, rng);
+  const auto& stubs = phys.topology().stub_routers();
+  std::vector<OverlayNode> nodes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int stub = stubs[i % stubs.size()];
+    nodes[i].id = ids[i];
+    nodes[i].attach = stub;
+    nodes[i].domain = phys.topology().host_hierarchy_path(stub);
+  }
+  return OverlayNetwork(space, std::move(nodes));
+}
+
+HopCost host_hop_cost(const OverlayNetwork& net, const PhysicalNetwork& phys) {
+  return [&net, &phys](std::uint32_t a, std::uint32_t b) {
+    return phys.host_latency(net.node(a).attach, net.node(b).attach);
+  };
+}
+
+}  // namespace canon

@@ -1,0 +1,116 @@
+#include "topology/transit_stub.h"
+
+#include <stdexcept>
+
+namespace canon {
+
+void TransitStubTopology::add_edge(int a, int b, double ms) {
+  if (a == b) return;
+  adjacency_[static_cast<std::size_t>(a)].push_back(Edge{b, ms});
+  adjacency_[static_cast<std::size_t>(b)].push_back(Edge{a, ms});
+}
+
+TransitStubTopology::TransitStubTopology(const TransitStubConfig& config,
+                                         Rng& rng)
+    : config_(config) {
+  if (config.transit_domains < 1 || config.transit_per_domain < 1 ||
+      config.stub_domains_per_transit < 0 || config.stubs_per_domain < 1) {
+    throw std::invalid_argument("TransitStubTopology: bad config");
+  }
+
+  // Lay out routers: all transit routers first, then stub routers grouped
+  // by (transit domain, transit router, stub domain).
+  std::vector<std::vector<int>> transit(
+      static_cast<std::size_t>(config.transit_domains));
+  for (int td = 0; td < config.transit_domains; ++td) {
+    for (int t = 0; t < config.transit_per_domain; ++t) {
+      transit[static_cast<std::size_t>(td)].push_back(
+          static_cast<int>(routers_.size()));
+      routers_.push_back(RouterInfo{true, td, t, -1, -1});
+    }
+  }
+  // Stub routers.
+  std::vector<std::vector<int>> stub_domain_routers;
+  std::vector<int> stub_domain_gateway;  // transit router of each stub domain
+  for (int td = 0; td < config.transit_domains; ++td) {
+    for (int t = 0; t < config.transit_per_domain; ++t) {
+      for (int sd = 0; sd < config.stub_domains_per_transit; ++sd) {
+        std::vector<int> members;
+        for (int s = 0; s < config.stubs_per_domain; ++s) {
+          members.push_back(static_cast<int>(routers_.size()));
+          routers_.push_back(RouterInfo{false, td, t, sd, s});
+          stub_routers_.push_back(members.back());
+        }
+        stub_domain_routers.push_back(std::move(members));
+        stub_domain_gateway.push_back(transit[static_cast<std::size_t>(td)]
+                                             [static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+  adjacency_.resize(routers_.size());
+
+  const auto ring_plus_chords = [&](const std::vector<int>& members,
+                                    double ms) {
+    const std::size_t n = members.size();
+    if (n < 2) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      add_edge(members[i], members[(i + 1) % n], ms);
+    }
+    const int extra =
+        static_cast<int>(config_.extra_edge_fraction * static_cast<double>(n));
+    for (int e = 0; e < extra; ++e) {
+      const int a = members[rng.uniform(n)];
+      const int b = members[rng.uniform(n)];
+      add_edge(a, b, ms);
+    }
+  };
+
+  // Intra-transit-domain connectivity.
+  for (const auto& domain : transit) {
+    ring_plus_chords(domain, config.transit_transit_ms);
+  }
+  // Inter-domain connectivity: a ring of domains plus random chords, each
+  // edge between random transit routers of the two domains.
+  const auto domain_edge = [&](int da, int db) {
+    const auto& a = transit[static_cast<std::size_t>(da)];
+    const auto& b = transit[static_cast<std::size_t>(db)];
+    add_edge(a[rng.uniform(a.size())], b[rng.uniform(b.size())],
+             config.transit_transit_ms);
+  };
+  for (int d = 0; d < config.transit_domains; ++d) {
+    if (config.transit_domains > 1) {
+      domain_edge(d, (d + 1) % config.transit_domains);
+    }
+  }
+  for (int e = 0; e < config.extra_domain_edges; ++e) {
+    if (config.transit_domains < 2) break;
+    const int da = static_cast<int>(
+        rng.uniform(static_cast<std::uint64_t>(config.transit_domains)));
+    int db = static_cast<int>(
+        rng.uniform(static_cast<std::uint64_t>(config.transit_domains)));
+    if (da == db) db = (db + 1) % config.transit_domains;
+    domain_edge(da, db);
+  }
+  // Stub domains: internal ring + chords, one gateway link to the transit
+  // router they hang off.
+  for (std::size_t sd = 0; sd < stub_domain_routers.size(); ++sd) {
+    const auto& members = stub_domain_routers[sd];
+    ring_plus_chords(members, config.stub_stub_ms);
+    add_edge(members[rng.uniform(members.size())], stub_domain_gateway[sd],
+             config.transit_stub_ms);
+  }
+}
+
+DomainPath TransitStubTopology::host_hierarchy_path(int r) const {
+  const RouterInfo& info = router(r);
+  if (info.is_transit) {
+    throw std::invalid_argument(
+        "host_hierarchy_path: hosts attach to stub routers only");
+  }
+  return DomainPath({static_cast<std::uint16_t>(info.transit_domain),
+                     static_cast<std::uint16_t>(info.transit_index),
+                     static_cast<std::uint16_t>(info.stub_domain),
+                     static_cast<std::uint16_t>(info.stub_index)});
+}
+
+}  // namespace canon

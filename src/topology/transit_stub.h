@@ -1,0 +1,89 @@
+// Transit-stub physical topology (Section 5.2 of the paper).
+//
+// The paper uses GT-ITM to generate a 2040-router transit-stub graph:
+// routers split into transit domains of transit routers; a set of stub
+// domains hangs off each transit router. Link latencies are fixed per
+// class: transit-transit 100 ms, transit-stub 20 ms, stub-stub 5 ms (and
+// 1 ms from an end host to its stub router). We generate the same family
+// of graphs directly: the latency hierarchy — not GT-ITM's exact edge
+// probability model — is what the stretch/locality results depend on.
+//
+// The topology induces the paper's natural five-level conceptual hierarchy
+// for hosts: root / transit domain / transit router / stub domain / stub
+// router.
+#ifndef CANON_TOPOLOGY_TRANSIT_STUB_H
+#define CANON_TOPOLOGY_TRANSIT_STUB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "hierarchy/domain_path.h"
+
+namespace canon {
+
+struct TransitStubConfig {
+  int transit_domains = 8;
+  int transit_per_domain = 5;
+  int stub_domains_per_transit = 5;
+  int stubs_per_domain = 10;
+  // 8*5 transit + 8*5*5*10 stub = 40 + 2000 = 2040 routers (paper's count).
+
+  double transit_transit_ms = 100.0;
+  double transit_stub_ms = 20.0;
+  double stub_stub_ms = 5.0;
+  double host_stub_ms = 1.0;
+
+  /// Extra random transit-domain pair connections beyond the domain ring.
+  int extra_domain_edges = 8;
+  /// Extra random edges inside each transit domain / stub domain beyond
+  /// the ring that guarantees connectivity, as a fraction of its size.
+  double extra_edge_fraction = 0.3;
+};
+
+struct RouterInfo {
+  bool is_transit = false;
+  int transit_domain = 0;  ///< 0-based transit-domain index
+  int transit_index = 0;   ///< transit router within its domain
+  int stub_domain = -1;    ///< stub domain under the transit router (-1 if transit)
+  int stub_index = -1;     ///< stub router within its stub domain
+};
+
+/// An undirected weighted router graph with transit-stub structure.
+class TransitStubTopology {
+ public:
+  TransitStubTopology(const TransitStubConfig& config, Rng& rng);
+
+  const TransitStubConfig& config() const { return config_; }
+  int router_count() const { return static_cast<int>(routers_.size()); }
+  const RouterInfo& router(int r) const {
+    return routers_[static_cast<std::size_t>(r)];
+  }
+
+  struct Edge {
+    int to = 0;
+    double ms = 0;
+  };
+  const std::vector<Edge>& edges(int r) const {
+    return adjacency_[static_cast<std::size_t>(r)];
+  }
+
+  /// All stub-router indices (hosts attach only to these).
+  const std::vector<int>& stub_routers() const { return stub_routers_; }
+
+  /// The conceptual-hierarchy path of a host attached to stub router `r`:
+  /// (transit domain, transit router, stub domain, stub router).
+  DomainPath host_hierarchy_path(int r) const;
+
+ private:
+  void add_edge(int a, int b, double ms);
+
+  TransitStubConfig config_;
+  std::vector<RouterInfo> routers_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<int> stub_routers_;
+};
+
+}  // namespace canon
+
+#endif  // CANON_TOPOLOGY_TRANSIT_STUB_H

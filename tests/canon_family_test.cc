@@ -1,0 +1,255 @@
+// Tests for the other Canon family members: Cacophony (Symphony),
+// nondeterministic Crescendo, Kandy (Kademlia) and Can-Can (CAN).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "canon/cacophony.h"
+#include "canon/cancan.h"
+#include "canon/kandy.h"
+#include "canon/nondet_crescendo.h"
+#include "common/rng.h"
+#include "dht/kademlia.h"
+#include "dht/nondet_chord.h"
+#include "dht/symphony.h"
+#include "overlay/population.h"
+#include "overlay/routing.h"
+
+namespace canon {
+namespace {
+
+PopulationSpec deep_spec(std::size_t n, int levels) {
+  PopulationSpec spec;
+  spec.node_count = n;
+  spec.hierarchy.levels = levels;
+  spec.hierarchy.fanout = 5;
+  return spec;
+}
+
+class FamilyLevelsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyLevelsTest, CacophonyRoutesSucceed) {
+  const int levels = GetParam();
+  Rng rng(301 + levels);
+  const auto net = make_population(deep_spec(700, levels), rng);
+  const auto links = build_cacophony(net, rng);
+  const RingRouter router(net, links);
+  for (int t = 0; t < 300; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    const Route r = router.route(from, key);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.terminal(), net.responsible(key));
+  }
+}
+
+TEST_P(FamilyLevelsTest, NondetCrescendoRoutesSucceed) {
+  const int levels = GetParam();
+  Rng rng(311 + levels);
+  const auto net = make_population(deep_spec(700, levels), rng);
+  const auto links = build_nondet_crescendo(net, rng);
+  const RingRouter router(net, links);
+  for (int t = 0; t < 300; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    const Route r = router.route(from, key);
+    EXPECT_TRUE(r.ok);
+  }
+}
+
+TEST_P(FamilyLevelsTest, KandyRoutesSucceed) {
+  const int levels = GetParam();
+  Rng rng(321 + levels);
+  const auto net = make_population(deep_spec(700, levels), rng);
+  for (const auto choice : {BucketChoice::kClosest, BucketChoice::kRandom}) {
+    const auto links = build_kandy(net, choice, rng);
+    const XorRouter router(net, links);
+    for (int t = 0; t < 200; ++t) {
+      const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+      const NodeId key = net.space().wrap(rng());
+      const Route r = router.route(from, key);
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.terminal(), net.xor_closest(key));
+    }
+  }
+}
+
+TEST_P(FamilyLevelsTest, CanCanRoutesSucceed) {
+  const int levels = GetParam();
+  Rng rng(331 + levels);
+  const auto net = make_population(deep_spec(600, levels), rng);
+  const CanCanNetwork cancan(net);
+  const CanCanRouter router(cancan);
+  int ok = 0;
+  const int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    const Route r = router.route(from, key);
+    if (r.ok) {
+      ++ok;
+      EXPECT_EQ(r.terminal(), cancan.responsible(key));
+    }
+  }
+  // The Canon merge filter for CAN is the loosest part of the paper;
+  // require routing to work for the overwhelming majority of queries (the
+  // router's XOR fallback covers faces the filter removed).
+  EXPECT_GE(ok, kTrials * 99 / 100)
+      << "stuck=" << router.stuck_count() << " levels=" << levels;
+}
+
+TEST_P(FamilyLevelsTest, DegreesStayLogarithmic) {
+  const int levels = GetParam();
+  Rng rng(341 + levels);
+  const auto net = make_population(deep_spec(1000, levels), rng);
+  const double logn = std::log2(1000.0);
+  EXPECT_LE(build_cacophony(net, rng).mean_degree(), logn + 2);
+  EXPECT_LE(build_nondet_crescendo(net, rng).mean_degree(), logn + 2);
+  EXPECT_LE(build_kandy(net, BucketChoice::kClosest, rng).mean_degree(),
+            logn + 2);
+  const CanCanNetwork cancan(net);
+  EXPECT_LE(cancan.links().mean_degree(), 3 * logn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, FamilyLevelsTest,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(Kandy, FlatEqualsKademliaGivenSameSeed) {
+  PopulationSpec spec = deep_spec(400, 1);
+  Rng rng_net(351);
+  const auto net = make_population(spec, rng_net);
+  Rng r1(77);
+  Rng r2(77);
+  const auto kandy = build_kandy(net, BucketChoice::kRandom, r1);
+  const auto kademlia = build_kademlia(net, BucketChoice::kRandom, r2);
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto a = kandy.neighbors(m);
+    const auto b = kademlia.neighbors(m);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(NondetCrescendo, FlatEqualsNondetChordGivenSameSeed) {
+  PopulationSpec spec = deep_spec(400, 1);
+  Rng rng_net(352);
+  const auto net = make_population(spec, rng_net);
+  Rng r1(78);
+  Rng r2(78);
+  const auto a_table = build_nondet_crescendo(net, r1);
+  const auto b_table = build_nondet_chord(net, r2);
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto a = a_table.neighbors(m);
+    const auto b = b_table.neighbors(m);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Cacophony, FlatEqualsSymphonyGivenSameSeed) {
+  PopulationSpec spec = deep_spec(400, 1);
+  Rng rng_net(353);
+  const auto net = make_population(spec, rng_net);
+  Rng r1(79);
+  Rng r2(79);
+  const auto a_table = build_cacophony(net, r1);
+  const auto b_table = build_symphony(net, r2);
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto a = a_table.neighbors(m);
+    const auto b = b_table.neighbors(m);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(NondetCrescendo, RespectsConditionB) {
+  // Section 3.2: merge links must be strictly closer than the closest node
+  // of the node's own child ring.
+  Rng rng(354);
+  const auto net = make_population(deep_spec(500, 3), rng);
+  const auto links = build_nondet_crescendo(net, rng);
+  const DomainTree& dom = net.domains();
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto& chain = dom.domain_chain(m);
+    const int leaf = static_cast<int>(chain.size()) - 1;
+    for (const auto v : links.neighbors(m)) {
+      // Links to nodes outside the leaf domain must beat the leaf-domain
+      // successor distance.
+      if (net.lca_level(m, v) >= leaf) continue;
+      const std::uint64_t leaf_succ =
+          net.domain_ring(chain[static_cast<std::size_t>(leaf)])
+              .successor_distance(net.id(m));
+      EXPECT_LT(net.space().ring_distance(net.id(m), net.id(v)), leaf_succ);
+    }
+  }
+}
+
+TEST(Kandy, RespectsPerBucketConditionB) {
+  // A link leaving the leaf domain must be strictly closer than every leaf
+  // mate within the same XOR bucket (the per-bucket reading of "closer than
+  // any node in m's own ring").
+  Rng rng(355);
+  const auto net = make_population(deep_spec(500, 3), rng);
+  const auto links = build_kandy(net, BucketChoice::kClosest, rng);
+  const DomainTree& dom = net.domains();
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto& chain = dom.domain_chain(m);
+    const int leaf = static_cast<int>(chain.size()) - 1;
+    const RingView leaf_ring =
+        net.domain_ring(chain[static_cast<std::size_t>(leaf)]);
+    for (const auto v : links.neighbors(m)) {
+      if (net.lca_level(m, v) >= leaf) continue;
+      const std::uint64_t d = net.space().xor_distance(net.id(m), net.id(v));
+      const std::uint64_t leaf_bucket_best =
+          bucket_closest_distance(net, leaf_ring, net.id(m), floor_log2(d));
+      EXPECT_LT(d, leaf_bucket_best);
+    }
+  }
+}
+
+TEST(RingLocality, HoldsForAllRingBasedFamilies) {
+  // Intra-domain path locality (Section 2.2) holds for every construction
+  // whose merge links are strictly shorter than the child-ring successor.
+  Rng rng(356);
+  const auto net = make_population(deep_spec(700, 3), rng);
+  struct NamedTable {
+    const char* name;
+    LinkTable table;
+  };
+  std::vector<NamedTable> tables;
+  tables.push_back({"cacophony", build_cacophony(net, rng)});
+  tables.push_back({"nondet_crescendo", build_nondet_crescendo(net, rng)});
+  for (const auto& [name, links] : tables) {
+    const RingRouter router(net, links);
+    int checked = 0;
+    for (int t = 0; t < 3000 && checked < 200; ++t) {
+      const auto a = static_cast<std::uint32_t>(rng.uniform(net.size()));
+      const auto b = static_cast<std::uint32_t>(rng.uniform(net.size()));
+      const int lca = net.lca_level(a, b);
+      if (lca == 0 || a == b) continue;
+      ++checked;
+      const Route r = router.route(a, net.id(b));
+      ASSERT_TRUE(r.ok) << name;
+      for (const auto hop : r.path) {
+        EXPECT_GE(net.lca_level(hop, b), lca) << name;
+      }
+    }
+    EXPECT_GE(checked, 100) << name;
+  }
+}
+
+TEST(CanCan, FlatEqualsCan) {
+  Rng rng(357);
+  const auto net = make_population(deep_spec(300, 1), rng);
+  const CanCanNetwork cancan(net);
+  const auto flat = build_can(net);
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto a = cancan.links().neighbors(m);
+    const auto b = flat.links.neighbors(m);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace canon

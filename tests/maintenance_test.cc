@@ -1,0 +1,214 @@
+// Tests for dynamic maintenance (Section 2.3): joins, leaves, the
+// incremental-equals-from-scratch invariant, message costs and leaf sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "canon/crescendo.h"
+#include "common/rng.h"
+#include "maintenance/dynamic_crescendo.h"
+#include "overlay/population.h"
+#include "overlay/routing.h"
+
+namespace canon {
+namespace {
+
+OverlayNode make_node(NodeId id, DomainPath path) {
+  return OverlayNode{id, std::move(path), -1};
+}
+
+/// Asserts the dynamic structure's links equal a from-scratch Crescendo
+/// build over the same population.
+void expect_equals_scratch(const DynamicCrescendo& dynamic) {
+  const OverlayNetwork& net = dynamic.network();
+  const LinkTable scratch = build_crescendo(net);
+  for (std::uint32_t m = 0; m < net.size(); ++m) {
+    const auto want = scratch.neighbors(m);
+    const auto it = dynamic.links_by_id().find(net.id(m));
+    ASSERT_NE(it, dynamic.links_by_id().end());
+    const auto& got = it->second;
+    ASSERT_EQ(got.size(), want.size()) << "node " << net.id(m);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], net.id(want[i]));
+    }
+  }
+}
+
+TEST(DynamicCrescendo, JoinsMatchScratchConstruction) {
+  Rng rng(701);
+  DynamicCrescendo dyn(IdSpace(16));
+  HierarchySpec hier;
+  hier.levels = 3;
+  hier.fanout = 3;
+  const auto paths = generate_hierarchy(60, hier, rng);
+  const auto ids = sample_unique_ids(60, IdSpace(16), rng);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    dyn.join(make_node(ids[i], paths[i]));
+    if (i % 10 == 9) expect_equals_scratch(dyn);
+  }
+  expect_equals_scratch(dyn);
+}
+
+TEST(DynamicCrescendo, LeavesMatchScratchConstruction) {
+  Rng rng(702);
+  HierarchySpec hier;
+  hier.levels = 3;
+  hier.fanout = 3;
+  const auto paths = generate_hierarchy(60, hier, rng);
+  const auto ids = sample_unique_ids(60, IdSpace(16), rng);
+  std::vector<OverlayNode> initial;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    initial.push_back(make_node(ids[i], paths[i]));
+  }
+  DynamicCrescendo dyn(IdSpace(16), initial);
+  expect_equals_scratch(dyn);
+  std::vector<NodeId> order(ids);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+  for (std::size_t i = 0; i + 5 < order.size(); ++i) {
+    dyn.leave(order[i]);
+    if (i % 10 == 9) expect_equals_scratch(dyn);
+  }
+  expect_equals_scratch(dyn);
+}
+
+TEST(DynamicCrescendo, MixedChurnMatchesScratch) {
+  Rng rng(703);
+  HierarchySpec hier;
+  hier.levels = 2;
+  hier.fanout = 4;
+  DynamicCrescendo dyn(IdSpace(20));
+  std::vector<OverlayNode> alive;
+  for (int round = 0; round < 120; ++round) {
+    const bool join = alive.size() < 10 || rng.uniform(3) != 0;
+    if (join) {
+      const auto ids = sample_unique_ids(1, IdSpace(20), rng);
+      if (dyn.links_by_id().contains(ids[0])) continue;
+      const auto paths = generate_hierarchy(1, hier, rng);
+      const OverlayNode n = make_node(ids[0], paths[0]);
+      dyn.join(n);
+      alive.push_back(n);
+    } else {
+      const std::size_t pick = rng.uniform(alive.size());
+      dyn.leave(alive[pick].id);
+      alive.erase(alive.begin() + static_cast<long>(pick));
+    }
+  }
+  expect_equals_scratch(dyn);
+  EXPECT_EQ(dyn.size(), alive.size());
+}
+
+TEST(DynamicCrescendo, RoutingWorksThroughoutChurn) {
+  Rng rng(704);
+  HierarchySpec hier;
+  hier.levels = 3;
+  hier.fanout = 3;
+  DynamicCrescendo dyn(IdSpace(20));
+  for (int round = 0; round < 80; ++round) {
+    const auto ids = sample_unique_ids(1, IdSpace(20), rng);
+    if (dyn.links_by_id().contains(ids[0])) continue;
+    const auto paths = generate_hierarchy(1, hier, rng);
+    dyn.join(make_node(ids[0], paths[0]));
+    if (dyn.size() >= 2 && round % 10 == 0) {
+      const LinkTable table = dyn.link_table();
+      const RingRouter router(dyn.network(), table);
+      for (int t = 0; t < 20; ++t) {
+        const auto from =
+            static_cast<std::uint32_t>(rng.uniform(dyn.size()));
+        const NodeId key = dyn.network().space().wrap(rng());
+        const Route r = router.route(from, key);
+        EXPECT_TRUE(r.ok);
+      }
+    }
+  }
+}
+
+TEST(DynamicCrescendo, JoinCostIsLogarithmic) {
+  Rng rng(705);
+  HierarchySpec hier;
+  hier.levels = 3;
+  hier.fanout = 4;
+  DynamicCrescendo dyn(IdSpace(28));
+  Summary messages;
+  for (int i = 0; i < 400; ++i) {
+    const auto ids = sample_unique_ids(1, IdSpace(28), rng);
+    if (dyn.links_by_id().contains(ids[0])) continue;
+    const auto paths = generate_hierarchy(1, hier, rng);
+    const MaintenanceCost c = dyn.join(make_node(ids[0], paths[0]));
+    if (dyn.size() > 100) messages.add(c.messages());
+  }
+  // O(log n) messages: for n in (100, 400], log2(n) in (6.6, 8.6]. Allow a
+  // generous constant factor.
+  EXPECT_LE(messages.mean(), 6 * std::log2(400.0));
+}
+
+TEST(DynamicCrescendo, DuplicateJoinAndUnknownLeaveThrow) {
+  DynamicCrescendo dyn(IdSpace(8));
+  dyn.join(make_node(5, {}));
+  EXPECT_THROW(dyn.join(make_node(5, {})), std::invalid_argument);
+  EXPECT_THROW(dyn.leave(99), std::invalid_argument);
+}
+
+TEST(DynamicCrescendo, LeafSetsFollowPerLevelRings) {
+  Rng rng(706);
+  HierarchySpec hier;
+  hier.levels = 2;
+  hier.fanout = 2;
+  const auto paths = generate_hierarchy(40, hier, rng);
+  const auto ids = sample_unique_ids(40, IdSpace(16), rng);
+  std::vector<OverlayNode> initial;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    initial.push_back(make_node(ids[i], paths[i]));
+  }
+  const DynamicCrescendo dyn(IdSpace(16), initial);
+  const OverlayNetwork& net = dyn.network();
+  for (std::uint32_t m = 0; m < net.size(); m += 5) {
+    for (int level = 0; level <= net.domains().node_depth(m); ++level) {
+      const auto set = dyn.leaf_set(net.id(m), level, 3);
+      const RingView ring =
+          net.domain_ring(net.domains().domain_of(m, level));
+      ASSERT_LE(set.size(), 3u);
+      // The leaf set is the next successors of m on the level ring.
+      NodeId cursor = net.id(m);
+      for (const NodeId s : set) {
+        const std::uint32_t expect =
+            ring.first_at_distance(cursor, 1);
+        EXPECT_EQ(s, net.id(expect));
+        cursor = s;
+      }
+    }
+  }
+}
+
+TEST(DynamicCrescendo, LeafSetsEnableSuccessorRepair) {
+  // When a node dies, its predecessor's leaf set already contains the next
+  // live successor at every level — the repair needs no lookup.
+  Rng rng(707);
+  HierarchySpec hier;
+  hier.levels = 2;
+  hier.fanout = 2;
+  const auto paths = generate_hierarchy(30, hier, rng);
+  const auto ids = sample_unique_ids(30, IdSpace(16), rng);
+  std::vector<OverlayNode> initial;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    initial.push_back(make_node(ids[i], paths[i]));
+  }
+  DynamicCrescendo dyn(IdSpace(16), initial);
+  const OverlayNetwork& before = dyn.network();
+  const NodeId victim = before.id(7);
+  const NodeId pred =
+      before.id(before.ring().predecessor_or_self(
+          before.space().advance(victim, before.space().mask())));
+  const auto leaf_before = dyn.leaf_set(pred, 0, 3);
+  ASSERT_GE(leaf_before.size(), 2u);
+  ASSERT_EQ(leaf_before[0], victim);
+  dyn.leave(victim);
+  const auto leaf_after = dyn.leaf_set(pred, 0, 3);
+  ASSERT_GE(leaf_after.size(), 1u);
+  // The new first successor is the old second entry.
+  EXPECT_EQ(leaf_after[0], leaf_before[1]);
+}
+
+}  // namespace
+}  // namespace canon

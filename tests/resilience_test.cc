@@ -1,0 +1,248 @@
+// Tests for failure-aware routing (leaf-set fallback) and Kademlia's
+// iterative lookup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "canon/crescendo.h"
+#include "canon/kandy.h"
+#include "common/rng.h"
+#include "dht/chord.h"
+#include "dht/iterative_lookup.h"
+#include "dht/kademlia.h"
+#include "overlay/population.h"
+#include "overlay/resilient_routing.h"
+
+namespace canon {
+namespace {
+
+PopulationSpec spec_of(std::size_t n, int levels) {
+  PopulationSpec spec;
+  spec.node_count = n;
+  spec.hierarchy.levels = levels;
+  spec.hierarchy.fanout = 4;
+  return spec;
+}
+
+TEST(FailureSet, TracksState) {
+  FailureSet f(5);
+  EXPECT_FALSE(f.dead(3));
+  f.kill(3);
+  EXPECT_TRUE(f.dead(3));
+  EXPECT_EQ(f.dead_count(), 1u);
+  f.revive(3);
+  EXPECT_FALSE(f.dead(3));
+  EXPECT_EQ(f.dead_count(), 0u);
+}
+
+TEST(ResilientRouting, NoFailuresMatchesPlainGreedy) {
+  Rng rng(901);
+  const auto net = make_population(spec_of(400, 3), rng);
+  const auto links = build_crescendo(net);
+  const FailureSet failures(net.size());
+  const RingRouter plain(net, links);
+  const ResilientRingRouter resilient(net, links, failures);
+  for (int t = 0; t < 200; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    const Route a = plain.route(from, key);
+    const Route b = resilient.route(from, key);
+    EXPECT_TRUE(b.ok);
+    EXPECT_EQ(b.terminal(), a.terminal());
+  }
+}
+
+TEST(ResilientRouting, LiveResponsibleSkipsDeadPredecessors) {
+  Rng rng(902);
+  const auto net = make_population(spec_of(100, 1), rng);
+  const auto links = build_crescendo(net);
+  FailureSet failures(net.size());
+  const NodeId key = net.space().wrap(rng());
+  const std::uint32_t owner = net.responsible(key);
+  failures.kill(owner);
+  const ResilientRingRouter router(net, links, failures);
+  const std::uint32_t fallback = router.live_responsible(key);
+  EXPECT_NE(fallback, owner);
+  // The fallback is the next live predecessor.
+  EXPECT_FALSE(failures.dead(fallback));
+}
+
+class FailureRateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailureRateTest, SurvivesRandomFailures) {
+  const int percent = GetParam();
+  Rng rng(903 + percent);
+  const auto net = make_population(spec_of(600, 3), rng);
+  const auto links = build_crescendo(net);
+  FailureSet failures(net.size());
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    if (rng.uniform(100) < static_cast<std::uint64_t>(percent)) {
+      failures.kill(i);
+    }
+  }
+  const ResilientRingRouter router(net, links, failures, /*leaf_set=*/8);
+  int ok = 0;
+  int total = 0;
+  for (int t = 0; t < 300; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    if (failures.dead(from)) continue;
+    ++total;
+    const NodeId key = net.space().wrap(rng());
+    const Route r = router.route(from, key);
+    ok += r.ok;
+    // Every hop must be live.
+    for (const auto hop : r.path) EXPECT_FALSE(failures.dead(hop));
+  }
+  // With an 8-deep leaf set, stalls need 8+ consecutive dead successors:
+  // vanishingly rare at these rates.
+  EXPECT_GE(ok, total * 99 / 100) << "failure rate " << percent << "%";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FailureRateTest,
+                         ::testing::Values(5, 15, 30));
+
+TEST(ResilientRouting, RejectsDeadSource) {
+  Rng rng(904);
+  const auto net = make_population(spec_of(50, 1), rng);
+  const auto links = build_crescendo(net);
+  FailureSet failures(net.size());
+  failures.kill(0);
+  const ResilientRingRouter router(net, links, failures);
+  EXPECT_THROW(router.route(0, 1), std::invalid_argument);
+}
+
+TEST(IterativeLookup, FindsClosestOnKademlia) {
+  Rng rng(905);
+  const auto net = make_population(spec_of(500, 1), rng);
+  const auto links = build_kademlia(net, BucketChoice::kClosest, rng);
+  for (int t = 0; t < 200; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    const auto result = iterative_lookup(net, links, from, key);
+    EXPECT_TRUE(result.ok);
+    EXPECT_GT(result.messages, 0);
+  }
+}
+
+TEST(IterativeLookup, FindsClosestOnKandyAllLevels) {
+  for (const int levels : {2, 3, 5}) {
+    Rng rng(906 + levels);
+    const auto net = make_population(spec_of(500, levels), rng);
+    const auto links = build_kandy(net, BucketChoice::kRandom, rng);
+    for (int t = 0; t < 100; ++t) {
+      const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+      const NodeId key = net.space().wrap(rng());
+      const auto result = iterative_lookup(net, links, from, key);
+      EXPECT_TRUE(result.ok) << "levels " << levels;
+    }
+  }
+}
+
+TEST(IterativeLookup, MessageCountIsLogarithmic) {
+  Rng rng(907);
+  const auto net = make_population(spec_of(2048, 1), rng);
+  const auto links = build_kademlia(net, BucketChoice::kClosest, rng);
+  Summary messages;
+  for (int t = 0; t < 200; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    const NodeId key = net.space().wrap(rng());
+    messages.add(iterative_lookup(net, links, from, key).messages);
+  }
+  // alpha * O(log n) messages; generous bound.
+  EXPECT_LE(messages.mean(), 4 * std::log2(2048.0));
+}
+
+TEST(IterativeLookup, ValidatesConfig) {
+  Rng rng(908);
+  const auto net = make_population(spec_of(20, 1), rng);
+  const auto links = build_kademlia(net, BucketChoice::kClosest, rng);
+  IterativeLookupConfig bad;
+  bad.alpha = 0;
+  EXPECT_THROW(iterative_lookup(net, links, 0, 1, bad),
+               std::invalid_argument);
+}
+
+
+TEST(KademliaReplication, ExtraBucketEntriesIncreaseDegree) {
+  Rng rng(909);
+  const auto net = make_population(spec_of(400, 1), rng);
+  Rng r1(5);
+  Rng r2(5);
+  const auto single = build_kademlia(net, BucketChoice::kClosest, r1, 1);
+  const auto tripled = build_kademlia(net, BucketChoice::kClosest, r2, 3);
+  EXPECT_GT(tripled.mean_degree(), 1.8 * single.mean_degree());
+  // The primary (closest) entries are still present.
+  for (std::uint32_t m = 0; m < net.size(); m += 13) {
+    for (const auto v : single.neighbors(m)) {
+      EXPECT_TRUE(tripled.has_link(m, v));
+    }
+  }
+}
+
+TEST(KademliaReplication, ImprovesLookupSurvivalUnderFailures) {
+  Rng rng(910);
+  const auto net = make_population(spec_of(600, 1), rng);
+  Rng r1(6);
+  Rng r2(6);
+  const auto single = build_kademlia(net, BucketChoice::kClosest, r1, 1);
+  const auto tripled = build_kademlia(net, BucketChoice::kClosest, r2, 3);
+  // Kill 25% of nodes; greedy XOR routing skips dead neighbors.
+  std::vector<bool> dead(net.size(), false);
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    dead[i] = rng.uniform(4) == 0;
+  }
+  const auto survive = [&](const LinkTable& links) {
+    int ok = 0;
+    int total = 0;
+    Rng qrng(911);
+    for (int t = 0; t < 600; ++t) {
+      const auto from = static_cast<std::uint32_t>(qrng.uniform(net.size()));
+      if (dead[from]) continue;
+      ++total;
+      const NodeId key = net.space().wrap(qrng());
+      // Greedy XOR over live neighbors only.
+      std::uint32_t cur = from;
+      for (int step = 0; step < 200; ++step) {
+        std::uint32_t best = cur;
+        std::uint64_t best_d = net.space().xor_distance(net.id(cur), key);
+        for (const auto nb : links.neighbors(cur)) {
+          if (dead[nb]) continue;
+          const auto d = net.space().xor_distance(net.id(nb), key);
+          if (d < best_d) {
+            best_d = d;
+            best = nb;
+          }
+        }
+        if (best == cur) break;
+        cur = best;
+      }
+      // Success: terminal is the closest LIVE node to the key.
+      std::uint32_t want = from;
+      std::uint64_t want_d = ~std::uint64_t{0};
+      for (std::uint32_t i = 0; i < net.size(); ++i) {
+        if (dead[i]) continue;
+        const auto d = net.space().xor_distance(net.id(i), key);
+        if (d < want_d) {
+          want_d = d;
+          want = i;
+        }
+      }
+      ok += (cur == want);
+    }
+    return static_cast<double>(ok) / total;
+  };
+  const double lone = survive(single);
+  const double redundant = survive(tripled);
+  EXPECT_GT(redundant, lone);
+  EXPECT_GT(redundant, 0.9);
+}
+
+TEST(KademliaReplication, RejectsBadFactor) {
+  Rng rng(912);
+  const auto net = make_population(spec_of(20, 1), rng);
+  EXPECT_THROW(build_kademlia(net, BucketChoice::kClosest, rng, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace canon

@@ -1,0 +1,313 @@
+// Tests for hierarchical storage, access control, pointer indirection and
+// proxy caching (Section 4).
+#include <gtest/gtest.h>
+
+#include "canon/crescendo.h"
+#include "common/rng.h"
+#include "overlay/population.h"
+#include "storage/hierarchical_store.h"
+
+namespace canon {
+namespace {
+
+struct StoreFixture : ::testing::Test {
+  StoreFixture() : rng(601) {
+    PopulationSpec spec;
+    spec.node_count = 500;
+    spec.hierarchy.levels = 3;
+    spec.hierarchy.fanout = 4;
+    net = std::make_unique<OverlayNetwork>(make_population(spec, rng));
+    links = std::make_unique<LinkTable>(build_crescendo(*net));
+  }
+
+  std::uint32_t random_node() {
+    return static_cast<std::uint32_t>(rng.uniform(net->size()));
+  }
+
+  Rng rng;
+  std::unique_ptr<OverlayNetwork> net;
+  std::unique_ptr<LinkTable> links;
+};
+
+TEST_F(StoreFixture, GlobalPutGetRoundTrip) {
+  HierarchicalStore store(*net, *links);
+  for (int t = 0; t < 50; ++t) {
+    const auto origin = random_node();
+    const NodeId key = net->space().wrap(rng());
+    store.put(origin, key, "v" + std::to_string(t), 0, 0);
+    const auto got = store.get(random_node(), key);
+    EXPECT_EQ(got.source, AnswerSource::kOwner);
+    EXPECT_EQ(got.value, "v" + std::to_string(t));
+  }
+  EXPECT_EQ(store.stored_pairs(), 50u);
+  EXPECT_EQ(store.pointer_entries(), 0u);
+}
+
+TEST_F(StoreFixture, GlobalContentStoredAtGlobalResponsible) {
+  HierarchicalStore store(*net, *links);
+  const NodeId key = net->space().wrap(rng());
+  const auto holder = store.put(random_node(), key, "x", 0, 0);
+  EXPECT_EQ(holder, net->responsible(key));
+}
+
+TEST_F(StoreFixture, DomainStorageStaysInsideDomain) {
+  HierarchicalStore store(*net, *links);
+  for (int t = 0; t < 50; ++t) {
+    const auto origin = random_node();
+    const int depth = net->domains().node_depth(origin);
+    if (depth < 2) continue;
+    const NodeId key = net->space().wrap(rng());
+    const auto holder = store.put(origin, key, "local", 2, 2);
+    // The holder lies in the origin's level-2 domain.
+    EXPECT_GE(net->lca_level(origin, holder), 2);
+  }
+}
+
+TEST_F(StoreFixture, AccessControlHidesLocalContent) {
+  HierarchicalStore store(*net, *links);
+  // Find an origin with at least one node outside its level-1 domain.
+  const auto origin = random_node();
+  const NodeId key = net->space().wrap(rng());
+  store.put(origin, key, "secret", 1, 1);
+  int outsiders = 0;
+  int insiders = 0;
+  for (std::uint32_t probe = 0;
+       probe < net->size() && (outsiders < 20 || insiders < 20); ++probe) {
+    const bool inside = net->lca_level(probe, origin) >= 1;
+    if ((inside && insiders >= 20) || (!inside && outsiders >= 20)) continue;
+    const auto got = store.get(probe, key);
+    if (inside) {
+      // Same level-1 domain: must see the content.
+      EXPECT_NE(got.source, AnswerSource::kNotFound) << "probe " << probe;
+      ++insiders;
+    } else {
+      EXPECT_EQ(got.source, AnswerSource::kNotFound) << "probe " << probe;
+      ++outsiders;
+    }
+  }
+  EXPECT_GT(outsiders, 0);
+  EXPECT_GT(insiders, 0);
+}
+
+TEST_F(StoreFixture, LocalQueriesNeverLeaveTheStorageDomain) {
+  // Section 4.1: "a query for content stored locally in a domain never
+  // leaves the domain."
+  HierarchicalStore store(*net, *links);
+  int checked = 0;
+  for (int t = 0; t < 200 && checked < 50; ++t) {
+    const auto origin = random_node();
+    if (net->domains().node_depth(origin) < 1) continue;
+    const NodeId key = net->space().wrap(rng());
+    store.put(origin, key, "near", 1, 1);
+    // Query from another node of the same level-1 domain.
+    const int domain = net->domains().domain_of(origin, 1);
+    const RingView ring = net->domain_ring(domain);
+    const auto querier = ring.at(rng.uniform(ring.size()));
+    const auto got = store.get(querier, key);
+    ASSERT_NE(got.source, AnswerSource::kNotFound);
+    for (const auto hop : got.route.path) {
+      EXPECT_GE(net->lca_level(hop, origin), 1)
+          << "query escaped the storage domain";
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST_F(StoreFixture, PointerMakesLocalContentGloballyVisible) {
+  HierarchicalStore store(*net, *links);
+  int via_pointer = 0;
+  for (int t = 0; t < 60; ++t) {
+    const auto origin = random_node();
+    if (net->domains().node_depth(origin) < 1) continue;
+    const NodeId key = net->space().wrap(rng());
+    // Stored in the level-1 domain, accessible globally.
+    store.put(origin, key, "pointed", 1, 0);
+    // A node outside the storage domain must still find it.
+    std::uint32_t outsider = random_node();
+    int guard = 0;
+    while (net->lca_level(outsider, origin) >= 1 && guard++ < 1000) {
+      outsider = random_node();
+    }
+    const auto got = store.get(outsider, key);
+    EXPECT_NE(got.source, AnswerSource::kNotFound);
+    EXPECT_EQ(got.value, "pointed");
+    via_pointer += (got.source == AnswerSource::kPointer);
+  }
+  EXPECT_GT(via_pointer, 0);
+  EXPECT_GT(store.pointer_entries(), 0u);
+}
+
+TEST_F(StoreFixture, EraseRemovesContentAndPointers) {
+  HierarchicalStore store(*net, *links);
+  const auto origin = random_node();
+  const NodeId key = net->space().wrap(rng());
+  const int depth = std::min(1, net->domains().node_depth(origin));
+  store.put(origin, key, "gone", depth, 0);
+  EXPECT_TRUE(store.erase(origin, key, depth, 0));
+  EXPECT_EQ(store.get(origin, key).source, AnswerSource::kNotFound);
+  EXPECT_EQ(store.stored_pairs(), 0u);
+  EXPECT_EQ(store.pointer_entries(), 0u);
+  EXPECT_FALSE(store.erase(origin, key, depth, 0));
+}
+
+TEST_F(StoreFixture, PutValidatesLevels) {
+  HierarchicalStore store(*net, *links);
+  const auto origin = random_node();
+  EXPECT_THROW(store.put(origin, 1, "x", 0, 1), std::invalid_argument);
+  EXPECT_THROW(store.put(origin, 1, "x", 99, 0), std::invalid_argument);
+}
+
+TEST_F(StoreFixture, RepeatQueriesHitProxyCaches) {
+  HierarchicalStore store(*net, *links, /*cache_capacity=*/64);
+  const auto origin = random_node();
+  const NodeId key = net->space().wrap(rng());
+  store.put(origin, key, "popular", 0, 0);
+
+  // Many nodes of one deep domain query the same key; later queries should
+  // be served from a proxy cache inside (or near) their domain.
+  const int domain =
+      net->domains().domain_of(origin, std::min(
+          1, net->domains().node_depth(origin)));
+  const RingView ring = net->domain_ring(domain);
+  int cache_hits = 0;
+  Summary first_hops;
+  Summary later_hops;
+  for (std::size_t i = 0; i < std::min<std::size_t>(ring.size(), 40); ++i) {
+    const auto got = store.get(ring.at(i), key);
+    EXPECT_NE(got.source, AnswerSource::kNotFound);
+    if (got.source == AnswerSource::kCache) ++cache_hits;
+    (i == 0 ? first_hops : later_hops).add(got.route.hops());
+  }
+  EXPECT_GT(cache_hits, 0);
+}
+
+
+TEST_F(StoreFixture, ReplicationPlacesCopiesAtPredecessors) {
+  HierarchicalStore store(*net, *links);
+  const auto origin = random_node();
+  const NodeId key = net->space().wrap(rng());
+  store.put(origin, key, "replicated", 0, 0, /*replication=*/3);
+  EXPECT_EQ(store.stored_pairs(), 3u);
+  // Erase removes every replica.
+  EXPECT_TRUE(store.erase(origin, key, 0, 0));
+  EXPECT_EQ(store.stored_pairs(), 0u);
+}
+
+TEST_F(StoreFixture, ReplicatedContentSurvivesHolderFailure) {
+  HierarchicalStore replicated(*net, *links);
+  HierarchicalStore lone(*net, *links);
+  const auto origin = random_node();
+  const NodeId key = net->space().wrap(rng());
+  const auto holder = replicated.put(origin, key, "safe", 0, 0, 3);
+  lone.put(origin, key, "fragile", 0, 0, 1);
+
+  FailureSet failures(net->size());
+  failures.kill(holder);
+  std::uint32_t querier = random_node();
+  while (querier == holder) querier = random_node();
+
+  const auto saved = replicated.get_resilient(querier, key, failures);
+  EXPECT_EQ(saved.source, AnswerSource::kOwner);
+  EXPECT_EQ(saved.value, "safe");
+  EXPECT_NE(saved.served_by, holder);
+
+  const auto lost = lone.get_resilient(querier, key, failures);
+  EXPECT_EQ(lost.source, AnswerSource::kNotFound);
+}
+
+TEST_F(StoreFixture, GetResilientMatchesGetWithoutFailures) {
+  HierarchicalStore store(*net, *links);
+  const FailureSet none(net->size());
+  for (int t = 0; t < 30; ++t) {
+    const auto origin = random_node();
+    const NodeId key = net->space().wrap(rng());
+    store.put(origin, key, "v" + std::to_string(t), 0, 0);
+    const auto a = store.get(random_node(), key);
+    const auto b = store.get_resilient(random_node(), key, none);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_NE(b.source, AnswerSource::kNotFound);
+  }
+}
+
+TEST_F(StoreFixture, PutRejectsBadReplication) {
+  HierarchicalStore store(*net, *links);
+  EXPECT_THROW(store.put(0, 1, "x", 0, 0, 0), std::invalid_argument);
+}
+
+TEST(NodeCache, LevelAwareEvictsDeepestFirst) {
+  NodeCache cache(2, CachePolicy::kLevelAware);
+  cache.put(1, "a", 1);
+  cache.put(2, "b", 3);
+  cache.put(3, "c", 2);  // evicts key 2 (level 3, deepest)
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+}
+
+TEST(NodeCache, LruEvictsOldest) {
+  NodeCache cache(2, CachePolicy::kLru);
+  cache.put(1, "a", 1);
+  cache.put(2, "b", 1);
+  EXPECT_TRUE(cache.get(1).has_value());  // refresh key 1
+  cache.put(3, "c", 1);                   // evicts key 2
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+}
+
+TEST(NodeCache, KeepsSmallerLevelOnRefresh) {
+  NodeCache cache(4, CachePolicy::kLevelAware);
+  cache.put(1, "a", 3);
+  cache.put(1, "a", 1);
+  EXPECT_EQ(cache.get(1)->level, 1);
+  cache.put(1, "a", 2);
+  EXPECT_EQ(cache.get(1)->level, 1);
+}
+
+TEST(NodeCache, ZeroCapacityStoresNothing) {
+  NodeCache cache(0, CachePolicy::kLru);
+  cache.put(1, "a", 0);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+
+TEST_F(StoreFixture, GetManyCollectsValuesAlongThePath) {
+  HierarchicalStore store(*net, *links);
+  // The same key stored at several scopes by nodes of one deep domain.
+  const auto origin = random_node();
+  if (net->domains().node_depth(origin) < 2) GTEST_SKIP();
+  const NodeId key = net->space().wrap(rng());
+  store.put(origin, key, "lab-copy", 2, 2);
+  store.put(origin, key, "dept-copy", 1, 1);
+  store.put(origin, key, "global-copy", 0, 0);
+
+  // A query from inside the lab sees all three (stopping when it has
+  // enough), in locality order.
+  const auto all = store.get_many(origin, key, 10);
+  EXPECT_EQ(all.values.size(), 3u);
+  const auto two = store.get_many(origin, key, 2);
+  EXPECT_EQ(two.values.size(), 2u);
+  // Asking for fewer values walks no farther than asking for more.
+  EXPECT_LE(two.route.path.size(), all.route.path.size());
+
+  // An outsider sees only the global copy.
+  std::uint32_t outsider = random_node();
+  int guard = 0;
+  while (net->lca_level(outsider, origin) >= 1 && guard++ < 1000) {
+    outsider = random_node();
+  }
+  const auto theirs = store.get_many(outsider, key, 10);
+  ASSERT_EQ(theirs.values.size(), 1u);
+  EXPECT_EQ(theirs.values[0], "global-copy");
+}
+
+TEST_F(StoreFixture, GetManyEmptyForUnknownKey) {
+  HierarchicalStore store(*net, *links);
+  const auto result = store.get_many(random_node(), 12345, 5);
+  EXPECT_TRUE(result.values.empty());
+  EXPECT_FALSE(result.route.ok);
+}
+
+}  // namespace
+}  // namespace canon

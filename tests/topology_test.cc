@@ -1,0 +1,171 @@
+// Tests for the transit-stub topology, latency matrix, host attachment and
+// induced hierarchy.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "topology/physical_network.h"
+
+namespace canon {
+namespace {
+
+TransitStubConfig small_config() {
+  TransitStubConfig cfg;
+  cfg.transit_domains = 3;
+  cfg.transit_per_domain = 2;
+  cfg.stub_domains_per_transit = 2;
+  cfg.stubs_per_domain = 4;
+  return cfg;
+}
+
+TEST(TransitStub, RouterCountsMatchConfig) {
+  Rng rng(401);
+  const TransitStubTopology topo(small_config(), rng);
+  // 3*2 transit + 3*2*2*4 stub = 6 + 48.
+  EXPECT_EQ(topo.router_count(), 54);
+  EXPECT_EQ(topo.stub_routers().size(), 48u);
+  int transit = 0;
+  for (int r = 0; r < topo.router_count(); ++r) {
+    transit += topo.router(r).is_transit;
+  }
+  EXPECT_EQ(transit, 6);
+}
+
+TEST(TransitStub, PaperScaleIs2040Routers) {
+  Rng rng(402);
+  const TransitStubTopology topo(TransitStubConfig{}, rng);
+  EXPECT_EQ(topo.router_count(), 2040);
+  EXPECT_EQ(topo.stub_routers().size(), 2000u);
+}
+
+TEST(TransitStub, EdgeLatenciesMatchClasses) {
+  Rng rng(403);
+  const TransitStubTopology topo(small_config(), rng);
+  for (int r = 0; r < topo.router_count(); ++r) {
+    for (const auto& e : topo.edges(r)) {
+      const bool a_transit = topo.router(r).is_transit;
+      const bool b_transit = topo.router(e.to).is_transit;
+      if (a_transit && b_transit) {
+        EXPECT_DOUBLE_EQ(e.ms, 100.0);
+      } else if (a_transit != b_transit) {
+        EXPECT_DOUBLE_EQ(e.ms, 20.0);
+      } else {
+        EXPECT_DOUBLE_EQ(e.ms, 5.0);
+      }
+    }
+  }
+}
+
+TEST(TransitStub, HierarchyPathHasFourComponents) {
+  Rng rng(404);
+  const TransitStubTopology topo(small_config(), rng);
+  for (const int r : topo.stub_routers()) {
+    const DomainPath p = topo.host_hierarchy_path(r);
+    ASSERT_EQ(p.depth(), 4);
+    EXPECT_EQ(p.branch(0), topo.router(r).transit_domain);
+    EXPECT_EQ(p.branch(3), topo.router(r).stub_index);
+  }
+  EXPECT_THROW(topo.host_hierarchy_path(0), std::invalid_argument);
+}
+
+TEST(LatencyMatrix, SymmetricZeroDiagonalConnected) {
+  Rng rng(405);
+  const TransitStubTopology topo(small_config(), rng);
+  const LatencyMatrix m(topo);
+  for (int a = 0; a < topo.router_count(); a += 7) {
+    EXPECT_DOUBLE_EQ(m.latency(a, a), 0.0);
+    for (int b = 0; b < topo.router_count(); b += 5) {
+      EXPECT_NEAR(m.latency(a, b), m.latency(b, a), 1e-6);
+      if (a != b) {
+        EXPECT_GT(m.latency(a, b), 0.0);
+      }
+    }
+  }
+}
+
+TEST(LatencyMatrix, IntraStubDomainIsCheap) {
+  Rng rng(406);
+  const TransitStubTopology topo(small_config(), rng);
+  const LatencyMatrix m(topo);
+  // Two stub routers in the same stub domain: only 5 ms links between them.
+  const auto& stubs = topo.stub_routers();
+  for (std::size_t i = 0; i + 1 < stubs.size(); ++i) {
+    const auto& a = topo.router(stubs[i]);
+    const auto& b = topo.router(stubs[i + 1]);
+    if (a.transit_domain == b.transit_domain &&
+        a.transit_index == b.transit_index && a.stub_domain == b.stub_domain) {
+      EXPECT_LE(m.latency(stubs[i], stubs[i + 1]), 5.0 * 4);
+    }
+  }
+}
+
+TEST(LatencyMatrix, CrossDomainIsExpensive) {
+  Rng rng(407);
+  const TransitStubTopology topo(small_config(), rng);
+  const LatencyMatrix m(topo);
+  // Stub routers under different transit domains must cross two 20 ms
+  // gateways and at least one 100 ms transit link.
+  const auto& stubs = topo.stub_routers();
+  int checked = 0;
+  for (std::size_t i = 0; i < stubs.size() && checked < 20; ++i) {
+    for (std::size_t j = i + 1; j < stubs.size() && checked < 20; ++j) {
+      if (topo.router(stubs[i]).transit_domain !=
+          topo.router(stubs[j]).transit_domain) {
+        EXPECT_GE(m.latency(stubs[i], stubs[j]), 20 + 100 + 20);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(PhysicalNetwork, HostLatencyAddsLastMile) {
+  Rng rng(408);
+  const PhysicalNetwork phys(small_config(), rng);
+  const int s0 = phys.topology().stub_routers()[0];
+  const int s1 = phys.topology().stub_routers()[1];
+  EXPECT_DOUBLE_EQ(phys.host_latency(s0, s0), 2.0);
+  EXPECT_DOUBLE_EQ(phys.host_latency(s0, s1),
+                   2.0 + phys.matrix().latency(s0, s1));
+}
+
+TEST(PhysicalNetwork, MeanHostLatencyIsPlausible) {
+  Rng rng(409);
+  const PhysicalNetwork phys(small_config(), rng);
+  const double mean = phys.mean_host_latency(2000, rng);
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 1000.0);
+}
+
+TEST(PhysicalPopulation, AttachesRoundRobinWithInducedHierarchy) {
+  Rng rng(410);
+  const PhysicalNetwork phys(small_config(), rng);
+  const auto net = make_physical_population(96, phys, 24, rng);
+  EXPECT_EQ(net.size(), 96u);
+  // 96 hosts over 48 stub routers: exactly 2 per stub router.
+  std::map<int, int> per_stub;
+  for (std::uint32_t i = 0; i < net.size(); ++i) {
+    ASSERT_GE(net.node(i).attach, 0);
+    ++per_stub[net.node(i).attach];
+    EXPECT_EQ(net.node(i).domain.depth(), 4);
+  }
+  for (const auto& [stub, count] : per_stub) EXPECT_EQ(count, 2);
+  // Hierarchy has 5 levels (root + 4).
+  EXPECT_EQ(net.domains().max_depth(), 4);
+}
+
+TEST(PhysicalPopulation, HopCostMatchesLatency) {
+  Rng rng(411);
+  const PhysicalNetwork phys(small_config(), rng);
+  const auto net = make_physical_population(50, phys, 24, rng);
+  const HopCost cost = host_hop_cost(net, phys);
+  for (std::uint32_t a = 0; a < 10; ++a) {
+    for (std::uint32_t b = 0; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(cost(a, b),
+                       phys.host_latency(net.node(a).attach,
+                                         net.node(b).attach));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace canon
