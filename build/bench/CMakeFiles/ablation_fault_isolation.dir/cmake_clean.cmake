@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fault_isolation.dir/ablation_fault_isolation.cc.o"
+  "CMakeFiles/ablation_fault_isolation.dir/ablation_fault_isolation.cc.o.d"
+  "ablation_fault_isolation"
+  "ablation_fault_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fault_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_maintenance.dir/ablation_maintenance.cc.o"
+  "CMakeFiles/ablation_maintenance.dir/ablation_maintenance.cc.o.d"
+  "ablation_maintenance"
+  "ablation_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

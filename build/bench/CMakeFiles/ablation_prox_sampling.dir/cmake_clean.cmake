@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prox_sampling.dir/ablation_prox_sampling.cc.o"
+  "CMakeFiles/ablation_prox_sampling.dir/ablation_prox_sampling.cc.o.d"
+  "ablation_prox_sampling"
+  "ablation_prox_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prox_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

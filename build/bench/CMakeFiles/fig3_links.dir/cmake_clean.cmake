@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_links.dir/fig3_links.cc.o"
+  "CMakeFiles/fig3_links.dir/fig3_links.cc.o.d"
+  "fig3_links"
+  "fig3_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_degree_pdf.dir/fig4_degree_pdf.cc.o"
+  "CMakeFiles/fig4_degree_pdf.dir/fig4_degree_pdf.cc.o.d"
+  "fig4_degree_pdf"
+  "fig4_degree_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_degree_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hops.dir/fig5_hops.cc.o"
+  "CMakeFiles/fig5_hops.dir/fig5_hops.cc.o.d"
+  "fig5_hops"
+  "fig5_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_latency_stretch.dir/fig6_latency_stretch.cc.o"
+  "CMakeFiles/fig6_latency_stretch.dir/fig6_latency_stretch.cc.o.d"
+  "fig6_latency_stretch"
+  "fig6_latency_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_latency_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_locality.cc" "bench/CMakeFiles/fig7_locality.dir/fig7_locality.cc.o" "gcc" "bench/CMakeFiles/fig7_locality.dir/fig7_locality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/canon_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/canon_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/canon_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/canon/CMakeFiles/canon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/canon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/canon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/canon_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/canon_balance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overlap.dir/fig8_overlap.cc.o"
+  "CMakeFiles/fig8_overlap.dir/fig8_overlap.cc.o.d"
+  "fig8_overlap"
+  "fig8_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_multicast.dir/fig9_multicast.cc.o"
+  "CMakeFiles/fig9_multicast.dir/fig9_multicast.cc.o.d"
+  "fig9_multicast"
+  "fig9_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

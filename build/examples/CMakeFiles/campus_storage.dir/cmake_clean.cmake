@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_storage.dir/campus_storage.cc.o"
+  "CMakeFiles/campus_storage.dir/campus_storage.cc.o.d"
+  "campus_storage"
+  "campus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_caching.dir/cdn_caching.cc.o"
+  "CMakeFiles/cdn_caching.dir/cdn_caching.cc.o.d"
+  "cdn_caching"
+  "cdn_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_balance.dir/id_allocator.cc.o"
+  "CMakeFiles/canon_balance.dir/id_allocator.cc.o.d"
+  "libcanon_balance.a"
+  "libcanon_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

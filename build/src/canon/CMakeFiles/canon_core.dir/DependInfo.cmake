@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canon/cacophony.cc" "src/canon/CMakeFiles/canon_core.dir/cacophony.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/cacophony.cc.o.d"
+  "/root/repo/src/canon/cancan.cc" "src/canon/CMakeFiles/canon_core.dir/cancan.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/cancan.cc.o.d"
+  "/root/repo/src/canon/crescendo.cc" "src/canon/CMakeFiles/canon_core.dir/crescendo.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/crescendo.cc.o.d"
+  "/root/repo/src/canon/kandy.cc" "src/canon/CMakeFiles/canon_core.dir/kandy.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/kandy.cc.o.d"
+  "/root/repo/src/canon/mixed.cc" "src/canon/CMakeFiles/canon_core.dir/mixed.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/mixed.cc.o.d"
+  "/root/repo/src/canon/nondet_crescendo.cc" "src/canon/CMakeFiles/canon_core.dir/nondet_crescendo.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/nondet_crescendo.cc.o.d"
+  "/root/repo/src/canon/proximity.cc" "src/canon/CMakeFiles/canon_core.dir/proximity.cc.o" "gcc" "src/canon/CMakeFiles/canon_core.dir/proximity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/canon_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/canon_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/canon_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/canon_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_core.dir/cacophony.cc.o"
+  "CMakeFiles/canon_core.dir/cacophony.cc.o.d"
+  "CMakeFiles/canon_core.dir/cancan.cc.o"
+  "CMakeFiles/canon_core.dir/cancan.cc.o.d"
+  "CMakeFiles/canon_core.dir/crescendo.cc.o"
+  "CMakeFiles/canon_core.dir/crescendo.cc.o.d"
+  "CMakeFiles/canon_core.dir/kandy.cc.o"
+  "CMakeFiles/canon_core.dir/kandy.cc.o.d"
+  "CMakeFiles/canon_core.dir/mixed.cc.o"
+  "CMakeFiles/canon_core.dir/mixed.cc.o.d"
+  "CMakeFiles/canon_core.dir/nondet_crescendo.cc.o"
+  "CMakeFiles/canon_core.dir/nondet_crescendo.cc.o.d"
+  "CMakeFiles/canon_core.dir/proximity.cc.o"
+  "CMakeFiles/canon_core.dir/proximity.cc.o.d"
+  "libcanon_core.a"
+  "libcanon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_common.dir/ids.cc.o"
+  "CMakeFiles/canon_common.dir/ids.cc.o.d"
+  "CMakeFiles/canon_common.dir/rng.cc.o"
+  "CMakeFiles/canon_common.dir/rng.cc.o.d"
+  "CMakeFiles/canon_common.dir/stats.cc.o"
+  "CMakeFiles/canon_common.dir/stats.cc.o.d"
+  "CMakeFiles/canon_common.dir/table.cc.o"
+  "CMakeFiles/canon_common.dir/table.cc.o.d"
+  "CMakeFiles/canon_common.dir/zipf.cc.o"
+  "CMakeFiles/canon_common.dir/zipf.cc.o.d"
+  "libcanon_common.a"
+  "libcanon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

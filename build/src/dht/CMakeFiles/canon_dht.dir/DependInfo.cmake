@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/can.cc" "src/dht/CMakeFiles/canon_dht.dir/can.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/can.cc.o.d"
+  "/root/repo/src/dht/chord.cc" "src/dht/CMakeFiles/canon_dht.dir/chord.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/chord.cc.o.d"
+  "/root/repo/src/dht/iterative_lookup.cc" "src/dht/CMakeFiles/canon_dht.dir/iterative_lookup.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/iterative_lookup.cc.o.d"
+  "/root/repo/src/dht/kademlia.cc" "src/dht/CMakeFiles/canon_dht.dir/kademlia.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/kademlia.cc.o.d"
+  "/root/repo/src/dht/nondet_chord.cc" "src/dht/CMakeFiles/canon_dht.dir/nondet_chord.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/nondet_chord.cc.o.d"
+  "/root/repo/src/dht/symphony.cc" "src/dht/CMakeFiles/canon_dht.dir/symphony.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/symphony.cc.o.d"
+  "/root/repo/src/dht/xor_util.cc" "src/dht/CMakeFiles/canon_dht.dir/xor_util.cc.o" "gcc" "src/dht/CMakeFiles/canon_dht.dir/xor_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/canon_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/canon_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_dht.dir/can.cc.o"
+  "CMakeFiles/canon_dht.dir/can.cc.o.d"
+  "CMakeFiles/canon_dht.dir/chord.cc.o"
+  "CMakeFiles/canon_dht.dir/chord.cc.o.d"
+  "CMakeFiles/canon_dht.dir/iterative_lookup.cc.o"
+  "CMakeFiles/canon_dht.dir/iterative_lookup.cc.o.d"
+  "CMakeFiles/canon_dht.dir/kademlia.cc.o"
+  "CMakeFiles/canon_dht.dir/kademlia.cc.o.d"
+  "CMakeFiles/canon_dht.dir/nondet_chord.cc.o"
+  "CMakeFiles/canon_dht.dir/nondet_chord.cc.o.d"
+  "CMakeFiles/canon_dht.dir/symphony.cc.o"
+  "CMakeFiles/canon_dht.dir/symphony.cc.o.d"
+  "CMakeFiles/canon_dht.dir/xor_util.cc.o"
+  "CMakeFiles/canon_dht.dir/xor_util.cc.o.d"
+  "libcanon_dht.a"
+  "libcanon_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

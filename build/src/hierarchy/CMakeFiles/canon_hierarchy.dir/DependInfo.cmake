@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/domain_path.cc" "src/hierarchy/CMakeFiles/canon_hierarchy.dir/domain_path.cc.o" "gcc" "src/hierarchy/CMakeFiles/canon_hierarchy.dir/domain_path.cc.o.d"
+  "/root/repo/src/hierarchy/domain_tree.cc" "src/hierarchy/CMakeFiles/canon_hierarchy.dir/domain_tree.cc.o" "gcc" "src/hierarchy/CMakeFiles/canon_hierarchy.dir/domain_tree.cc.o.d"
+  "/root/repo/src/hierarchy/generators.cc" "src/hierarchy/CMakeFiles/canon_hierarchy.dir/generators.cc.o" "gcc" "src/hierarchy/CMakeFiles/canon_hierarchy.dir/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

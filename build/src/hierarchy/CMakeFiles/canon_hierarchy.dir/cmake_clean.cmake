@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_hierarchy.dir/domain_path.cc.o"
+  "CMakeFiles/canon_hierarchy.dir/domain_path.cc.o.d"
+  "CMakeFiles/canon_hierarchy.dir/domain_tree.cc.o"
+  "CMakeFiles/canon_hierarchy.dir/domain_tree.cc.o.d"
+  "CMakeFiles/canon_hierarchy.dir/generators.cc.o"
+  "CMakeFiles/canon_hierarchy.dir/generators.cc.o.d"
+  "libcanon_hierarchy.a"
+  "libcanon_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_maintenance.dir/dynamic_crescendo.cc.o"
+  "CMakeFiles/canon_maintenance.dir/dynamic_crescendo.cc.o.d"
+  "libcanon_maintenance.a"
+  "libcanon_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcanon_maintenance.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/event_sim.cc" "src/overlay/CMakeFiles/canon_overlay.dir/event_sim.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/event_sim.cc.o.d"
+  "/root/repo/src/overlay/link_table.cc" "src/overlay/CMakeFiles/canon_overlay.dir/link_table.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/link_table.cc.o.d"
+  "/root/repo/src/overlay/metrics.cc" "src/overlay/CMakeFiles/canon_overlay.dir/metrics.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/metrics.cc.o.d"
+  "/root/repo/src/overlay/overlay_network.cc" "src/overlay/CMakeFiles/canon_overlay.dir/overlay_network.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/overlay_network.cc.o.d"
+  "/root/repo/src/overlay/population.cc" "src/overlay/CMakeFiles/canon_overlay.dir/population.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/population.cc.o.d"
+  "/root/repo/src/overlay/resilient_routing.cc" "src/overlay/CMakeFiles/canon_overlay.dir/resilient_routing.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/resilient_routing.cc.o.d"
+  "/root/repo/src/overlay/routing.cc" "src/overlay/CMakeFiles/canon_overlay.dir/routing.cc.o" "gcc" "src/overlay/CMakeFiles/canon_overlay.dir/routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/canon_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_overlay.dir/event_sim.cc.o"
+  "CMakeFiles/canon_overlay.dir/event_sim.cc.o.d"
+  "CMakeFiles/canon_overlay.dir/link_table.cc.o"
+  "CMakeFiles/canon_overlay.dir/link_table.cc.o.d"
+  "CMakeFiles/canon_overlay.dir/metrics.cc.o"
+  "CMakeFiles/canon_overlay.dir/metrics.cc.o.d"
+  "CMakeFiles/canon_overlay.dir/overlay_network.cc.o"
+  "CMakeFiles/canon_overlay.dir/overlay_network.cc.o.d"
+  "CMakeFiles/canon_overlay.dir/population.cc.o"
+  "CMakeFiles/canon_overlay.dir/population.cc.o.d"
+  "CMakeFiles/canon_overlay.dir/resilient_routing.cc.o"
+  "CMakeFiles/canon_overlay.dir/resilient_routing.cc.o.d"
+  "CMakeFiles/canon_overlay.dir/routing.cc.o"
+  "CMakeFiles/canon_overlay.dir/routing.cc.o.d"
+  "libcanon_overlay.a"
+  "libcanon_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cache.cc" "src/storage/CMakeFiles/canon_storage.dir/cache.cc.o" "gcc" "src/storage/CMakeFiles/canon_storage.dir/cache.cc.o.d"
+  "/root/repo/src/storage/hierarchical_store.cc" "src/storage/CMakeFiles/canon_storage.dir/hierarchical_store.cc.o" "gcc" "src/storage/CMakeFiles/canon_storage.dir/hierarchical_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/canon_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/canon_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_storage.dir/cache.cc.o"
+  "CMakeFiles/canon_storage.dir/cache.cc.o.d"
+  "CMakeFiles/canon_storage.dir/hierarchical_store.cc.o"
+  "CMakeFiles/canon_storage.dir/hierarchical_store.cc.o.d"
+  "libcanon_storage.a"
+  "libcanon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/latency_matrix.cc" "src/topology/CMakeFiles/canon_topology.dir/latency_matrix.cc.o" "gcc" "src/topology/CMakeFiles/canon_topology.dir/latency_matrix.cc.o.d"
+  "/root/repo/src/topology/physical_network.cc" "src/topology/CMakeFiles/canon_topology.dir/physical_network.cc.o" "gcc" "src/topology/CMakeFiles/canon_topology.dir/physical_network.cc.o.d"
+  "/root/repo/src/topology/transit_stub.cc" "src/topology/CMakeFiles/canon_topology.dir/transit_stub.cc.o" "gcc" "src/topology/CMakeFiles/canon_topology.dir/transit_stub.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/canon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hierarchy/CMakeFiles/canon_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/canon_overlay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

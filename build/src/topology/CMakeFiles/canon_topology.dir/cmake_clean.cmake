@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_topology.dir/latency_matrix.cc.o"
+  "CMakeFiles/canon_topology.dir/latency_matrix.cc.o.d"
+  "CMakeFiles/canon_topology.dir/physical_network.cc.o"
+  "CMakeFiles/canon_topology.dir/physical_network.cc.o.d"
+  "CMakeFiles/canon_topology.dir/transit_stub.cc.o"
+  "CMakeFiles/canon_topology.dir/transit_stub.cc.o.d"
+  "libcanon_topology.a"
+  "libcanon_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canon_family_test.dir/canon_family_test.cc.o"
+  "CMakeFiles/canon_family_test.dir/canon_family_test.cc.o.d"
+  "canon_family_test"
+  "canon_family_test.pdb"
+  "canon_family_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canon_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crescendo_test.dir/crescendo_test.cc.o"
+  "CMakeFiles/crescendo_test.dir/crescendo_test.cc.o.d"
+  "crescendo_test"
+  "crescendo_test.pdb"
+  "crescendo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crescendo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/overlay_test[1]_include.cmake")
+include("/root/repo/build/tests/dht_test[1]_include.cmake")
+include("/root/repo/build/tests/crescendo_test[1]_include.cmake")
+include("/root/repo/build/tests/canon_family_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/proximity_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/balance_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/event_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
