@@ -40,10 +40,11 @@ double worst_domain_ratio(const Grown& g, const IdSpace& space) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t min_n = bench::flag_u64(argc, argv, "min-nodes", 1024);
-  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 16384);
-  bench::header("Ablation A2: partition balance",
+  bench::BenchRun run(argc, argv, "ablation_balance");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t min_n = run.u64("min-nodes", 1024);
+  const std::uint64_t max_n = run.u64("max-nodes", 16384);
+  run.header("Ablation A2: partition balance",
                 "global and worst-domain max/min partition ratio; random vs "
                 "bisection vs hierarchical (16 domains)");
 
@@ -73,5 +74,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper/[11]: random grows as log^2 n; bisection is a small "
                "constant; the hierarchical variant also balances every "
                "domain)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

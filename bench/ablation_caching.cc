@@ -58,10 +58,11 @@ RunResult run(const OverlayNetwork& net, const LinkTable& links,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 8192);
-  const std::uint64_t queries = bench::flag_u64(argc, argv, "queries", 30000);
-  bench::header("Ablation A3: hierarchical proxy caching",
+  bench::BenchRun bench_run(argc, argv, "ablation_caching");
+  const std::uint64_t seed = bench_run.seed;
+  const std::uint64_t n = bench_run.u64("nodes", 8192);
+  const std::uint64_t queries = bench_run.u64("queries", 30000);
+  bench_run.header("Ablation A3: hierarchical proxy caching",
                 "Zipf(0.9) workload with per-domain locality, 512 keys, "
                 "Crescendo with 4-level hierarchy");
 
@@ -91,5 +92,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: caching cuts mean hops substantially; one copy "
                "per proxy level suffices, so small caches already help)\n";
-  return 0;
+  bench_run.report().set_series(bench::table_to_json(table));
+  return bench_run.finish();
 }

@@ -48,10 +48,11 @@ Row measure(const std::string& name, double degree, RouteFn&& route_fn,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 8192);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 2000);
-  bench::header("Ablation A4: the Canon family vs flat originals",
+  bench::BenchRun run(argc, argv, "ablation_family");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 8192);
+  const std::uint64_t trials = run.u64("trials", 2000);
+  run.header("Ablation A4: the Canon family vs flat originals",
                 "degree / hops / success; 8192 nodes, 3-level hierarchy "
                 "(fanout 10, Zipf)");
 
@@ -143,5 +144,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(expected: every Canonical version keeps ~flat degree and "
                "hops with success 1.0; literal Kandy trades extra links for "
                "slightly shorter XOR paths)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -60,10 +60,11 @@ double survival_rate(const OverlayNetwork& net, const LinkTable& links,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 8192);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 2000);
-  bench::header("Ablation A5: fault isolation",
+  bench::BenchRun run(argc, argv, "ablation_fault_isolation");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 8192);
+  const std::uint64_t trials = run.u64("trials", 2000);
+  run.header("Ablation A5: fault isolation",
                 "all nodes outside one level-1 domain fail; fraction of "
                 "intra-domain routes that still succeed");
 
@@ -95,5 +96,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: Crescendo 1.000 in every domain — its "
                "per-domain rings are self-contained; flat Chord collapses)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

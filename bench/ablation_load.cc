@@ -14,10 +14,11 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 8192);
-  const std::uint64_t lookups = bench::flag_u64(argc, argv, "lookups", 50000);
-  bench::header("Ablation A9: routing-load homogeneity",
+  bench::BenchRun run(argc, argv, "ablation_load");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 8192);
+  const std::uint64_t lookups = run.u64("lookups", 50000);
+  run.header("Ablation A9: routing-load homogeneity",
                 "per-node messages processed under a uniform concurrent "
                 "workload; flat Chord vs Crescendo levels 2-5");
 
@@ -57,5 +58,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: hierarchy does NOT create hot spots — max/mean "
                "load stays at flat Chord's level across 1-5 levels)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

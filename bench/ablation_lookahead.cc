@@ -12,11 +12,12 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t min_n = bench::flag_u64(argc, argv, "min-nodes", 1024);
-  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 32768);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 2000);
-  bench::header("Ablation A1: greedy-with-lookahead routing",
+  bench::BenchRun run(argc, argv, "ablation_lookahead");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t min_n = run.u64("min-nodes", 1024);
+  const std::uint64_t max_n = run.u64("max-nodes", 32768);
+  const std::uint64_t trials = run.u64("trials", 2000);
+  run.header("Ablation A1: greedy-with-lookahead routing",
                 "Symphony & Cacophony (3 levels), hops with/without "
                 "lookahead");
 
@@ -54,5 +55,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: ~40% savings asymptotically — O(log n / log log n) "
                "vs 0.5 log n; our conservative committed-pair variant saves "
                "~15-25% at these sizes, growing with n)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -12,9 +12,10 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 4096);
-  bench::header("Ablation A7: dynamic maintenance cost",
+  bench::BenchRun run(argc, argv, "ablation_maintenance");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t max_n = run.u64("max-nodes", 4096);
+  run.header("Ablation A7: dynamic maintenance cost",
                 "messages per join (lookup hops + nodes updated) vs n, "
                 "3-level hierarchy");
 
@@ -55,5 +56,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: messages track a small multiple of log2(n), as "
                "in plain Chord)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -13,10 +13,11 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 16384);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 2000);
-  bench::header("Ablation A8: proximity sampling budget s",
+  bench::BenchRun run(argc, argv, "ablation_prox_sampling");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 16384);
+  const std::uint64_t trials = run.u64("trials", 2000);
+  run.header("Ablation A8: proximity sampling budget s",
                 "mean link and route latency of Chord (Prox.) vs the "
                 "number of sampled endpoints per group link");
 
@@ -66,5 +67,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper cites internet measurements that s = 32 suffices; "
                "expected: returns diminish well before 32)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -12,10 +12,11 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 4096);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 2000);
-  bench::header("Ablation A6: routing availability under failures",
+  bench::BenchRun run(argc, argv, "ablation_resilience");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 4096);
+  const std::uint64_t trials = run.u64("trials", 2000);
+  run.header("Ablation A6: routing availability under failures",
                 "fraction of lookups that reach the live responsible node; "
                 "Crescendo, 3 levels, leaf-set fallback");
 
@@ -59,5 +60,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: bare fingers lose many lookups; a modest leaf "
                "set restores ~100% availability until failures dominate)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

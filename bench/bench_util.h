@@ -1,33 +1,211 @@
-// Shared helpers for the experiment binaries: flag parsing and headers.
+// Shared helpers for the experiment binaries: flag parsing, headers, and
+// machine-readable JSON reports.
+//
 // Every bench accepts --seed=<u64> plus experiment-specific size/trial
-// flags so results are reproducible and scalable.
+// flags so results are reproducible and scalable, and --json=<path> to
+// emit a telemetry::BenchReport (schema in docs/TELEMETRY.md) alongside
+// the human-readable output. The BenchRun helper ties it together:
+//
+//   int main(int argc, char** argv) {
+//     bench::BenchRun run(argc, argv, "fig5_hops");
+//     const std::uint64_t trials = run.u64("trials", 4000);   // parsed AND
+//     run.header("Figure 5: ...", "avg #hops vs n, ...");     // recorded
+//     ...
+//     run.report().add_row(...);          // bench-specific series rows
+//     return run.finish();                // writes --json if requested
+//   }
+//
+// When --json is given, BenchRun installs a process-wide MetricsRegistry
+// before any router/builder is constructed, so library-level counters and
+// phase timers flow into the report. Without --json no registry is
+// installed and every instrumented path stays on its no-op branch.
 #ifndef CANON_BENCH_BENCH_UTIL_H
 #define CANON_BENCH_BENCH_UTIL_H
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
 
 namespace canon::bench {
+
+/// Returns the value of "--name=value" from argv, or nullptr if absent.
+/// A bare "--name" yields the empty string.
+inline const char* flag_raw(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+    if (flag == argv[i]) return "";
+  }
+  return nullptr;
+}
 
 /// Parses "--name=value" from argv; returns `fallback` if absent.
 inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
                               std::uint64_t fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
-    }
-  }
-  return fallback;
+  const char* v = flag_raw(argc, argv, name);
+  return (v && *v) ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  return (v && *v) ? std::strtod(v, nullptr) : fallback;
+}
+
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  return v ? std::string(v) : std::string(fallback);
+}
+
+/// "--name" and "--name=true/1/yes/on" are true; "--name=false/0/no/off"
+/// is false; absent is `fallback`.
+inline bool flag_bool(int argc, char** argv, const char* name, bool fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  if (!v) return fallback;
+  if (!*v) return true;
+  const std::string s(v);
+  return !(s == "false" || s == "0" || s == "no" || s == "off");
 }
 
 inline void header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n", title);
   std::printf("   reproduces: %s\n\n", paper_ref);
 }
+
+/// Converts a printed TextTable into JSON series rows: one object per row,
+/// keyed by column header, with cells that parse completely as numbers
+/// emitted as numbers and everything else as strings.
+inline telemetry::JsonValue table_to_json(const TextTable& table) {
+  telemetry::JsonValue rows = telemetry::JsonValue::array();
+  for (const auto& row : table.rows()) {
+    telemetry::JsonValue obj = telemetry::JsonValue::object();
+    for (std::size_t c = 0; c < row.size() && c < table.header().size(); ++c) {
+      const std::string& cell = row[c];
+      char* end = nullptr;
+      const double num = std::strtod(cell.c_str(), &end);
+      if (!cell.empty() && end == cell.c_str() + cell.size()) {
+        obj.set(table.header()[c], telemetry::JsonValue(num));
+      } else {
+        obj.set(table.header()[c], telemetry::JsonValue(cell));
+      }
+    }
+    rows.push_back(std::move(obj));
+  }
+  return rows;
+}
+
+/// Per-binary run context: parses and records flags, prints the header
+/// with the effective seed/params, and owns the optional JSON report and
+/// metrics registry. See the file comment for the intended main() shape.
+class BenchRun {
+ public:
+  BenchRun(int argc, char** argv, const char* bench_name)
+      : seed(flag_u64(argc, argv, "seed", 42)),
+        argc_(argc),
+        argv_(argv),
+        json_path_(flag_str(argc, argv, "json", "")),
+        report_(bench_name, seed) {
+    params_.emplace_back("seed", std::to_string(seed));
+    if (json_enabled()) {
+      prev_registry_ = telemetry::install_registry(&registry_);
+    }
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  ~BenchRun() {
+    if (json_enabled()) telemetry::install_registry(prev_registry_);
+  }
+
+  /// Flag accessors that also record the effective value as a report
+  /// param and in the printed header.
+  std::uint64_t u64(const char* name, std::uint64_t fallback) {
+    const std::uint64_t v = flag_u64(argc_, argv_, name, fallback);
+    record(name, std::to_string(v), telemetry::JsonValue(v));
+    return v;
+  }
+  double f64(const char* name, double fallback) {
+    const double v = flag_double(argc_, argv_, name, fallback);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    record(name, buf, telemetry::JsonValue(v));
+    return v;
+  }
+  std::string str(const char* name, const char* fallback) {
+    std::string v = flag_str(argc_, argv_, name, fallback);
+    record(name, v, telemetry::JsonValue(v));
+    return v;
+  }
+  bool boolean(const char* name, bool fallback) {
+    const bool v = flag_bool(argc_, argv_, name, fallback);
+    record(name, v ? "true" : "false", telemetry::JsonValue(v));
+    return v;
+  }
+
+  /// Prints the bench header plus one line with every recorded param, so
+  /// a pasted output snippet is reproducible on its own.
+  void header(const char* title, const char* paper_ref) const {
+    std::printf("== %s ==\n", title);
+    std::printf("   reproduces: %s\n", paper_ref);
+    std::printf("  ");
+    for (const auto& [name, value] : params_) {
+      std::printf(" %s=%s", name.c_str(), value.c_str());
+    }
+    std::printf("\n\n");
+  }
+
+  telemetry::BenchReport& report() { return report_; }
+  bool json_enabled() const { return !json_path_.empty(); }
+
+  /// The registry collecting this run's metrics (installed process-wide
+  /// only when --json is given).
+  telemetry::MetricsRegistry& metrics() { return registry_; }
+
+  /// Writes the JSON report if --json was given. Returns the process exit
+  /// code (0, or 1 on write failure) so main can `return run.finish();`.
+  int finish() {
+    if (!json_enabled()) return 0;
+    report_.merge_registry(registry_);
+    try {
+      report_.write_file(json_path_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  const std::uint64_t seed;
+
+ private:
+  void record(const char* name, std::string printed, telemetry::JsonValue v) {
+    params_.emplace_back(name, std::move(printed));
+    report_.set_param(name, std::move(v));
+  }
+
+  int argc_;
+  char** argv_;
+  std::string json_path_;
+  telemetry::BenchReport report_;
+  telemetry::MetricsRegistry registry_;
+  telemetry::MetricsRegistry* prev_registry_ = nullptr;
+  std::vector<std::pair<std::string, std::string>> params_;
+};
 
 }  // namespace canon::bench
 

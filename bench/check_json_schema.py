@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""End-to-end check for the bench --json report schema.
+
+Runs a bench binary (argv[1]) with small parameters and --json, then
+asserts the stable top-level schema {bench, seed, params, metrics, series}
+and — for fig5_hops — that every series row's per-hierarchy-level hop
+breakdown sums to its total hop count (the paper's convergence accounting).
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    binary = sys.argv[1]
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "report.json")
+        subprocess.run(
+            [binary, "--min-nodes=256", "--max-nodes=512", "--trials=200",
+             f"--json={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+
+    for key in ("bench", "seed", "params", "metrics", "series"):
+        assert key in doc, f"missing top-level key {key!r}"
+    assert isinstance(doc["params"], dict)
+    assert isinstance(doc["series"], list) and doc["series"], "empty series"
+    for section in ("counters", "gauges", "histograms"):
+        assert section in doc["metrics"], f"missing metrics.{section}"
+
+    if doc["bench"] == "fig5_hops":
+        for row in doc["series"]:
+            total = row["total_hops"]
+            by_level = row["hops_by_level"]
+            assert sum(by_level) == total, (
+                f"hops_by_level {by_level} does not sum to {total} "
+                f"(nodes={row['nodes']}, levels={row['levels']})")
+            assert len(by_level) <= row["levels"] + 1
+        counters = doc["metrics"]["counters"]
+        assert counters["ring_router.routes"] > 0
+        assert counters["ring_router.hops"] == sum(
+            r["total_hops"] for r in doc["series"])
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

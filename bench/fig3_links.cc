@@ -14,11 +14,12 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t min_n = bench::flag_u64(argc, argv, "min-nodes", 1024);
-  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 65536);
-  bench::header("Figure 3: average links per node",
-                "avg #edges/node vs n, levels 1-5, fanout 10, Zipf(1.25)");
+  bench::BenchRun run(argc, argv, "fig3_links");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t min_n = run.u64("min-nodes", 1024);
+  const std::uint64_t max_n = run.u64("max-nodes", 65536);
+  run.header("Figure 3: average links per node",
+             "avg #edges/node vs n, levels 1-5, fanout 10, Zipf(1.25)");
 
   TextTable table({"nodes", "levels=1 (Chord)", "levels=2", "levels=3",
                    "levels=4", "levels=5"});
@@ -40,5 +41,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: curves hug log2(n); deeper hierarchies slightly "
                "below flat Chord)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

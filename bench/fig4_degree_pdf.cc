@@ -13,9 +13,10 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 32768);
-  bench::header("Figure 4: PDF of links per node (32K nodes)",
+  bench::BenchRun run(argc, argv, "fig4_degree_pdf");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 32768);
+  run.header("Figure 4: PDF of links per node (32K nodes)",
                 "fraction of nodes with a given degree, levels 1-5");
 
   std::vector<Histogram> hist(5);
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n(paper: distribution flattens left of the ~15-link mean as "
                "levels grow; max stays put)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -3,6 +3,11 @@
 // Expected shape (paper): ~0.5*log2(n) + c; a small constant increase
 // (at most ~0.7) as the number of levels grows, mirroring the slight drop
 // in links.
+//
+// With --json, each (nodes, levels) cell additionally reports the
+// per-hierarchy-level hop breakdown captured by a route trace: hops at
+// level l stay inside a common level-l domain (deep = local). The
+// breakdown always sums to the cell's total hop count.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -10,30 +15,33 @@
 #include "common/table.h"
 #include "overlay/population.h"
 #include "overlay/routing.h"
+#include "telemetry/trace.h"
 
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t min_n = bench::flag_u64(argc, argv, "min-nodes", 1024);
-  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 65536);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 4000);
-  bench::header("Figure 5: average routing hops",
-                "avg #hops vs n, levels 1-5, fanout 10, Zipf(1.25)");
+  bench::BenchRun run(argc, argv, "fig5_hops");
+  const std::uint64_t min_n = run.u64("min-nodes", 1024);
+  const std::uint64_t max_n = run.u64("max-nodes", 65536);
+  const std::uint64_t trials = run.u64("trials", 4000);
+  run.header("Figure 5: average routing hops",
+             "avg #hops vs n, levels 1-5, fanout 10, Zipf(1.25)");
 
   TextTable table({"nodes", "levels=1 (Chord)", "levels=2", "levels=3",
                    "levels=4", "levels=5"});
   for (std::uint64_t n = min_n; n <= max_n; n *= 2) {
     std::vector<std::string> row = {TextTable::num(n)};
     for (int levels = 1; levels <= 5; ++levels) {
-      Rng rng(seed + levels);
+      Rng rng(run.seed + static_cast<std::uint64_t>(levels));
       PopulationSpec spec;
       spec.node_count = n;
       spec.hierarchy.levels = levels;
       spec.hierarchy.fanout = 10;
       const auto net = make_population(spec, rng);
       const auto links = build_crescendo(net);
-      const RingRouter router(net, links);
+      RingRouter router(net, links);
+      telemetry::LevelHopCounter counter;
+      if (run.json_enabled()) router.set_trace(&counter);
       Summary hops;
       for (std::uint64_t t = 0; t < trials; ++t) {
         const auto from =
@@ -47,11 +55,24 @@ int main(int argc, char** argv) {
         hops.add(r.hops());
       }
       row.push_back(TextTable::num(hops.mean(), 2));
+      if (run.json_enabled()) {
+        telemetry::JsonValue cell = telemetry::JsonValue::object();
+        cell.set("nodes", telemetry::JsonValue(n));
+        cell.set("levels", telemetry::JsonValue(levels));
+        cell.set("mean_hops", telemetry::JsonValue(hops.mean()));
+        cell.set("total_hops", telemetry::JsonValue(counter.total_hops()));
+        telemetry::JsonValue by_level = telemetry::JsonValue::array();
+        for (const std::uint64_t c : counter.hops_by_level()) {
+          by_level.push_back(telemetry::JsonValue(c));
+        }
+        cell.set("hops_by_level", std::move(by_level));
+        run.report().add_row(std::move(cell));
+      }
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
   std::cout << "\n(paper: ~0.5*log2(n)+c; deeper hierarchies cost at most "
                "~0.7 extra hops)\n";
-  return 0;
+  return run.finish();
 }

@@ -20,11 +20,12 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t min_n = bench::flag_u64(argc, argv, "min-nodes", 2048);
-  const std::uint64_t max_n = bench::flag_u64(argc, argv, "max-nodes", 65536);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 2000);
-  bench::header(
+  bench::BenchRun run(argc, argv, "fig6_latency_stretch");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t min_n = run.u64("min-nodes", 2048);
+  const std::uint64_t max_n = run.u64("max-nodes", 65536);
+  const std::uint64_t trials = run.u64("trials", 2000);
+  run.header(
       "Figure 6: latency and stretch on the transit-stub topology",
       "Chord / Crescendo x (no prox / prox), 2040 routers, 5-level hierarchy");
 
@@ -97,5 +98,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: Chord stretch grows with log n; Crescendo ~2.7 "
                "flat; Chord(Prox) ~2 at 64K; Crescendo(Prox) ~1.3 flat)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

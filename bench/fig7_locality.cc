@@ -22,10 +22,11 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 32768);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 3000);
-  bench::header("Figure 7: latency vs query locality (32K nodes)",
+  bench::BenchRun run(argc, argv, "fig7_locality");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 32768);
+  const std::uint64_t trials = run.u64("trials", 3000);
+  run.header("Figure 7: latency vs query locality (32K nodes)",
                 "latency of level-k-local queries; Chord(Prox), "
                 "Crescendo(No Prox), Crescendo(Prox)");
 
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: Crescendo latency collapses with locality, near 0 "
                "by level 3; Chord(Prox) barely improves)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -21,10 +21,11 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 32768);
-  const std::uint64_t trials = bench::flag_u64(argc, argv, "trials", 3000);
-  bench::header("Figure 8: path overlap fraction vs domain level (32K)",
+  bench::BenchRun run(argc, argv, "fig8_overlap");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 32768);
+  const std::uint64_t trials = run.u64("trials", 3000);
+  run.header("Figure 8: path overlap fraction vs domain level (32K)",
                 "hop & latency overlap of two same-domain queries; "
                 "Crescendo vs Chord (Prox.)");
 
@@ -84,5 +85,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: Crescendo overlap climbs toward ~0.9 with domain "
                "level, latency > hops; Chord stays near 0)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

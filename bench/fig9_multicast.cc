@@ -22,11 +22,12 @@
 using namespace canon;
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 42);
-  const std::uint64_t n = bench::flag_u64(argc, argv, "nodes", 32768);
-  const std::uint64_t sources = bench::flag_u64(argc, argv, "sources", 1000);
-  const std::uint64_t repeats = bench::flag_u64(argc, argv, "repeats", 10);
-  bench::header("Figure 9: inter-domain links in a 1000-source multicast "
+  bench::BenchRun run(argc, argv, "fig9_multicast");
+  const std::uint64_t seed = run.seed;
+  const std::uint64_t n = run.u64("nodes", 32768);
+  const std::uint64_t sources = run.u64("sources", 1000);
+  const std::uint64_t repeats = run.u64("repeats", 10);
+  run.header("Figure 9: inter-domain links in a 1000-source multicast "
                 "tree (32K nodes)",
                 "Crescendo vs Chord (Prox.), domain levels 1-3");
 
@@ -74,5 +75,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(paper: Crescendo 19 / 39 / 353.7; Chord(Prox) 884.9 / "
                "1273.7 / 2502.7 -> ratios ~44x / ~33x / ~7x)\n";
-  return 0;
+  run.report().set_series(bench::table_to_json(table));
+  return run.finish();
 }

@@ -2,6 +2,8 @@
 // link builders at several network sizes.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "canon/cancan.h"
 #include "canon/crescendo.h"
 #include "canon/kandy.h"
@@ -63,4 +65,4 @@ BENCHMARK(BM_BuildCanCan)->Arg(1024)->Arg(8192);
 }  // namespace
 }  // namespace canon
 
-BENCHMARK_MAIN();
+CANON_MICRO_MAIN("micro_construction");

@@ -2,6 +2,8 @@
 // ring router (Chord/Crescendo), lookahead and XOR routing.
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_util.h"
+
 #include "canon/crescendo.h"
 #include "canon/kandy.h"
 #include "dht/chord.h"
@@ -65,4 +67,4 @@ BENCHMARK(BM_RouteKandy)->Arg(8192);
 }  // namespace
 }  // namespace canon
 
-BENCHMARK_MAIN();
+CANON_MICRO_MAIN("micro_routing");

@@ -11,10 +11,16 @@
 #include "hierarchy/generators.h"
 #include "maintenance/dynamic_crescendo.h"
 #include "overlay/routing.h"
+#include "telemetry/metrics.h"
 
 using namespace canon;
 
 int main() {
+  // Collect maintenance metrics for the whole run. The registry must be
+  // installed before DynamicCrescendo is constructed so its instruments
+  // resolve against it.
+  telemetry::MetricsRegistry registry;
+  telemetry::install_registry(&registry);
   Rng rng(77);
   const IdSpace space(32);
   HierarchySpec hier;
@@ -83,5 +89,18 @@ int main() {
     }
     std::cout << "\n";
   }
+
+  // What the telemetry layer saw, without any bookkeeping in the loops
+  // above: the DynamicCrescendo instruments record into the registry.
+  std::cout << "\ntelemetry:\n";
+  for (const auto& [name, counter] : registry.counters()) {
+    std::cout << "  " << name << " = " << counter.value() << "\n";
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    std::cout << "  " << name << ": n=" << hist.count() << ", mean "
+              << TextTable::num(hist.mean_ms(), 3) << " ms, p99 "
+              << TextTable::num(hist.quantile_upper_ms(0.99), 3) << " ms\n";
+  }
+  telemetry::install_registry(nullptr);
   return identical && ok == 1000 ? 0 : 1;
 }

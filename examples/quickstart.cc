@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "overlay/population.h"
 #include "overlay/routing.h"
+#include "telemetry/trace.h"
 
 using namespace canon;
 
@@ -39,9 +40,12 @@ int main() {
   }
 
   // 4. Route a lookup: greedy clockwise routing, hierarchical by
-  //    construction.
+  //    construction. A trace sink captures every hop with its hierarchy
+  //    level (deep level = local hop, level 0 = crossing top domains).
   const NodeId key = net.space().wrap(rng());
-  const RingRouter router(net, links);
+  RingRouter router(net, links);
+  telemetry::RecordingTraceSink trace;
+  router.set_trace(&trace);
   const Route route = router.route(node, key);
   std::cout << "\nlookup of key " << id_to_hex(key) << " from node "
             << id_to_hex(net.id(node)) << ":\n";
@@ -52,5 +56,14 @@ int main() {
   std::cout << (route.ok ? "reached the responsible node in "
                          : "FAILED after ")
             << route.hops() << " hops\n";
+
+  // 5. The trace shows the paper's convergence property directly: hops
+  //    start at coarse levels and never leave a domain once entered.
+  const auto by_level = trace.hops_by_level();
+  std::cout << "hops by hierarchy level:";
+  for (std::size_t l = 0; l < by_level.size(); ++l) {
+    std::cout << "  L" << l << "=" << by_level[l];
+  }
+  std::cout << "\n";
   return route.ok ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "canon/cacophony.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include "dht/chord.h"
 #include "dht/symphony.h"
 
@@ -23,6 +25,7 @@ void add_cacophony_links(const OverlayNetwork& net, std::uint32_t m, Rng& rng,
 }
 
 LinkTable build_cacophony(const OverlayNetwork& net, Rng& rng) {
+  telemetry::ScopedTimer timer("build.cacophony_ms");
   LinkTable out(net.size());
   for (std::uint32_t m = 0; m < net.size(); ++m) {
     add_cacophony_links(net, m, rng, out);

@@ -1,6 +1,7 @@
 #include "canon/crescendo.h"
 
 #include "dht/chord.h"
+#include "telemetry/scoped_timer.h"
 
 namespace canon {
 
@@ -23,6 +24,7 @@ void add_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
 }
 
 LinkTable build_crescendo(const OverlayNetwork& net) {
+  telemetry::ScopedTimer timer("build.crescendo_ms");
   LinkTable out(net.size());
   for (std::uint32_t m = 0; m < net.size(); ++m) {
     add_crescendo_links(net, m, out);

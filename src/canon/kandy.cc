@@ -1,5 +1,7 @@
 #include "canon/kandy.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include "dht/chord.h"
 
 namespace canon {
@@ -23,6 +25,7 @@ void add_kandy_links(const OverlayNetwork& net, std::uint32_t m,
 
 LinkTable build_kandy(const OverlayNetwork& net, BucketChoice choice, Rng& rng,
                       MergePolicy policy) {
+  telemetry::ScopedTimer timer("build.kandy_ms");
   LinkTable out(net.size());
   for (std::uint32_t m = 0; m < net.size(); ++m) {
     add_kandy_links(net, m, choice, policy, rng, out);

@@ -1,10 +1,13 @@
 #include "canon/mixed.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include "dht/chord.h"
 
 namespace canon {
 
 LinkTable build_clique_crescendo(const OverlayNetwork& net) {
+  telemetry::ScopedTimer timer("build.clique_crescendo_ms");
   LinkTable out(net.size());
   const DomainTree& dom = net.domains();
   for (std::uint32_t m = 0; m < net.size(); ++m) {

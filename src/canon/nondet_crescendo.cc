@@ -1,5 +1,7 @@
 #include "canon/nondet_crescendo.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include "dht/chord.h"
 #include "dht/nondet_chord.h"
 
@@ -23,6 +25,7 @@ void add_nondet_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
 }
 
 LinkTable build_nondet_crescendo(const OverlayNetwork& net, Rng& rng) {
+  telemetry::ScopedTimer timer("build.nondet_crescendo_ms");
   LinkTable out(net.size());
   for (std::uint32_t m = 0; m < net.size(); ++m) {
     add_nondet_crescendo_links(net, m, rng, out);

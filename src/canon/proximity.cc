@@ -1,5 +1,7 @@
 #include "canon/proximity.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -136,6 +138,7 @@ LinkTable build_chord_prox(const OverlayNetwork& net,
                            const GroupedOverlay& groups,
                            const HopCost& latency, const ProximityConfig& cfg,
                            Rng& rng) {
+  telemetry::ScopedTimer timer("build.chord_prox_ms");
   LinkTable out(net.size());
   for (std::uint32_t m = 0; m < net.size(); ++m) {
     add_clique_links(groups, m, out);
@@ -149,6 +152,7 @@ LinkTable build_crescendo_prox(const OverlayNetwork& net,
                                const GroupedOverlay& groups,
                                const HopCost& latency,
                                const ProximityConfig& cfg, Rng& rng) {
+  telemetry::ScopedTimer timer("build.crescendo_prox_ms");
   LinkTable out(net.size());
   const DomainTree& dom = net.domains();
   for (std::uint32_t m = 0; m < net.size(); ++m) {

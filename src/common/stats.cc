@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace canon {
@@ -24,12 +25,12 @@ double Summary::mean() const {
 }
 
 double Summary::min() const {
-  if (count_ == 0) throw std::logic_error("Summary::min: empty");
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   return min_;
 }
 
 double Summary::max() const {
-  if (count_ == 0) throw std::logic_error("Summary::max: empty");
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   return max_;
 }
 

@@ -15,7 +15,11 @@ class Summary {
   void add(double x);
 
   std::size_t count() const { return count_; }
+  /// Throws std::logic_error when empty.
   double mean() const;
+  /// Quiet NaN when empty (min/max of nothing is undefined, but callers
+  /// often print them unconditionally; NaN propagates visibly instead of
+  /// throwing mid-report).
   double min() const;
   double max() const;
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
@@ -59,6 +63,12 @@ class Histogram {
 };
 
 /// Collects raw samples; answers arbitrary percentiles exactly.
+///
+/// NOT thread-safe, including the const accessors: quantile() lazily sorts
+/// the sample buffer through a `mutable` cache, so concurrent quantile()
+/// calls (or quantile() racing add()) are data races. The whole library is
+/// single-threaded by design; guard this class externally before sharing
+/// it across threads.
 class Percentiles {
  public:
   void add(double x) {
@@ -67,10 +77,12 @@ class Percentiles {
   }
   std::size_t count() const { return samples_.size(); }
   /// `q` in [0,1]; nearest-rank percentile. Requires at least one sample.
+  /// Sorts the (mutable) sample cache on first call after an add().
   double quantile(double q) const;
   double mean() const;
 
  private:
+  // Lazy sort cache; see class comment for the single-thread contract.
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

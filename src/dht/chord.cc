@@ -1,5 +1,7 @@
 #include "dht/chord.h"
 
+#include "telemetry/scoped_timer.h"
+
 namespace canon {
 
 void add_chord_fingers(const OverlayNetwork& net, const RingView& ring,
@@ -16,6 +18,7 @@ void add_chord_fingers(const OverlayNetwork& net, const RingView& ring,
 }
 
 LinkTable build_chord(const OverlayNetwork& net) {
+  telemetry::ScopedTimer timer("build.chord_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
   for (std::uint32_t m = 0; m < net.size(); ++m) {

@@ -4,15 +4,23 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "telemetry/metrics.h"
+
 namespace canon {
 
 IterativeLookupResult iterative_lookup(const OverlayNetwork& net,
                                        const LinkTable& links,
                                        std::uint32_t from, NodeId key,
-                                       const IterativeLookupConfig& config) {
+                                       const IterativeLookupConfig& config,
+                                       telemetry::RouteTraceSink* trace) {
   if (config.alpha < 1 || config.shortlist_size < 1) {
     throw std::invalid_argument("iterative_lookup: bad config");
   }
+  telemetry::Counter* lookups_counter =
+      telemetry::maybe_counter("iterative_lookup.lookups");
+  telemetry::Counter* messages_counter =
+      telemetry::maybe_counter("iterative_lookup.messages");
+  const std::uint64_t trace_id = trace ? trace->begin_lookup(from, key) : 0;
   const IdSpace& space = net.space();
   const auto closer = [&](std::uint32_t a, std::uint32_t b) {
     return space.xor_distance(net.id(a), key) <
@@ -38,7 +46,18 @@ IterativeLookupResult iterative_lookup(const OverlayNetwork& net,
       queried.insert(q);
       result.queried.push_back(q);
       ++result.messages;
-      for (const std::uint32_t nb : links.neighbors(q)) {
+      const auto neighbors = links.neighbors(q);
+      if (trace) {
+        telemetry::HopRecord hop;
+        hop.lookup = trace_id;
+        hop.from = from;
+        hop.to = q;
+        hop.hop_index = result.messages - 1;
+        hop.level = net.lca_level(from, q);
+        hop.candidates = static_cast<std::uint32_t>(neighbors.size());
+        trace->on_hop(hop);
+      }
+      for (const std::uint32_t nb : neighbors) {
         if (known.insert(nb).second) shortlist.push_back(nb);
       }
     }
@@ -50,6 +69,11 @@ IterativeLookupResult iterative_lookup(const OverlayNetwork& net,
 
   result.closest = shortlist.front();
   result.ok = (result.closest == net.xor_closest(key));
+  if (lookups_counter) {
+    lookups_counter->inc();
+    messages_counter->inc(static_cast<std::uint64_t>(result.messages));
+  }
+  if (trace) trace->end_lookup(trace_id, result.ok, result.closest);
   return result;
 }
 

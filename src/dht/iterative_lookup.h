@@ -16,6 +16,7 @@
 
 #include "overlay/link_table.h"
 #include "overlay/overlay_network.h"
+#include "telemetry/trace.h"
 
 namespace canon {
 
@@ -32,10 +33,17 @@ struct IterativeLookupConfig {
 };
 
 /// Runs one iterative lookup for `key` starting from node `from`.
+///
+/// With a `trace` sink attached, every FIND_NODE message is reported as a
+/// hop from the querier to the contacted node (level = their LCA depth,
+/// candidates = neighbors returned), so per-level message breakdowns work
+/// the same way as for the forwarding routers.
 IterativeLookupResult iterative_lookup(const OverlayNetwork& net,
                                        const LinkTable& links,
                                        std::uint32_t from, NodeId key,
-                                       const IterativeLookupConfig& config = {});
+                                       const IterativeLookupConfig& config = {},
+                                       telemetry::RouteTraceSink* trace =
+                                           nullptr);
 
 }  // namespace canon
 

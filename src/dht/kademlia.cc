@@ -1,5 +1,7 @@
 #include "dht/kademlia.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -119,6 +121,7 @@ void add_kademlia_links(const OverlayNetwork& net, const RingView& ring,
 
 LinkTable build_kademlia(const OverlayNetwork& net, BucketChoice choice,
                          Rng& rng, int replication) {
+  telemetry::ScopedTimer timer("build.kademlia_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
   for (std::uint32_t m = 0; m < net.size(); ++m) {

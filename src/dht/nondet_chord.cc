@@ -1,5 +1,7 @@
 #include "dht/nondet_chord.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include <algorithm>
 
 namespace canon {
@@ -33,6 +35,7 @@ void add_nondet_chord_links(const OverlayNetwork& net, const RingView& ring,
 }
 
 LinkTable build_nondet_chord(const OverlayNetwork& net, Rng& rng) {
+  telemetry::ScopedTimer timer("build.nondet_chord_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
   for (std::uint32_t m = 0; m < net.size(); ++m) {

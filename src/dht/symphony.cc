@@ -1,5 +1,7 @@
 #include "dht/symphony.h"
 
+#include "telemetry/scoped_timer.h"
+
 #include <cmath>
 #include <limits>
 
@@ -35,6 +37,7 @@ void add_symphony_links(const OverlayNetwork& net, const RingView& ring,
 }
 
 LinkTable build_symphony(const OverlayNetwork& net, Rng& rng) {
+  telemetry::ScopedTimer timer("build.symphony_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
   for (std::uint32_t m = 0; m < net.size(); ++m) {

@@ -5,6 +5,8 @@
 
 #include "canon/crescendo.h"
 #include "overlay/routing.h"
+#include "telemetry/metrics.h"
+#include "telemetry/scoped_timer.h"
 
 namespace canon {
 
@@ -111,6 +113,10 @@ MaintenanceCost DynamicCrescendo::join(const OverlayNode& node) {
   if (links_.contains(node.id)) {
     throw std::invalid_argument("DynamicCrescendo::join: duplicate ID");
   }
+  telemetry::ScopedTimer timer("maintenance.join_ms");
+  if (telemetry::Counter* c = telemetry::maybe_counter("maintenance.joins")) {
+    c->inc();
+  }
   MaintenanceCost cost;
   cost.lookup_hops = count_lookup_hops(node);
 
@@ -131,6 +137,10 @@ MaintenanceCost DynamicCrescendo::leave(NodeId id) {
                    [&](const OverlayNode& n) { return n.id == id; });
   if (it == members_.end()) {
     throw std::invalid_argument("DynamicCrescendo::leave: unknown ID");
+  }
+  telemetry::ScopedTimer timer("maintenance.leave_ms");
+  if (telemetry::Counter* c = telemetry::maybe_counter("maintenance.leaves")) {
+    c->inc();
   }
   MaintenanceCost cost;
   // Affected set computed while the leaver is still present.

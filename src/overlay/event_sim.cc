@@ -13,7 +13,10 @@ EventSimulator::EventSimulator(const OverlayNetwork& net,
       latency_(std::move(latency)),
       config_(config),
       load_(net.size(), 0),
-      busy_until_(net.size(), 0) {
+      busy_until_(net.size(), 0),
+      messages_counter_(telemetry::maybe_counter("event_sim.messages")),
+      completed_counter_(telemetry::maybe_counter("event_sim.completed")),
+      queue_hist_(telemetry::maybe_histogram("event_sim.queue_ms")) {
   if (!links.finalized()) {
     throw std::invalid_argument("EventSimulator: links not finalized");
   }
@@ -29,6 +32,7 @@ int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
   stats.issued_ms = at_ms;
   const int id = static_cast<int>(lookups_.size());
   lookups_.push_back(stats);
+  trace_ids_.push_back(sink_ ? sink_->begin_lookup(from, key) : 0);
   queue_.push(Event{at_ms, id, from});
   return id;
 }
@@ -63,17 +67,37 @@ void EventSimulator::run() {
     const double done = start + config_.processing_ms;
     busy_until_[ev.node] = done;
     ++load_[ev.node];
+    if (messages_counter_) messages_counter_->inc();
+    if (queue_hist_) queue_hist_->record_ms(start - ev.at_ms);
 
     const std::uint32_t next = next_hop(ev.node, stats.key);
     if (next == ev.node || stats.hops >= hop_guard) {
       stats.completed_ms = done;
       stats.ok = (stats.hops < hop_guard) &&
                  (ev.node == net_->responsible(stats.key));
+      if (completed_counter_) completed_counter_->inc();
+      if (sink_) {
+        sink_->end_lookup(trace_ids_[static_cast<std::size_t>(ev.lookup)],
+                          stats.ok, ev.node);
+      }
       continue;
     }
-    ++stats.hops;
     const double hop_ms =
         latency_ ? latency_(ev.node, next) : config_.default_hop_ms;
+    if (sink_) {
+      telemetry::HopRecord hop;
+      hop.lookup = trace_ids_[static_cast<std::size_t>(ev.lookup)];
+      hop.from = ev.node;
+      hop.to = next;
+      hop.hop_index = stats.hops;
+      hop.level = net_->lca_level(ev.node, next);
+      hop.candidates =
+          static_cast<std::uint32_t>(links_->neighbors(ev.node).size());
+      hop.queue_ms = start - ev.at_ms;
+      hop.hop_ms = hop_ms;
+      sink_->on_hop(hop);
+    }
+    ++stats.hops;
     queue_.push(Event{done + hop_ms, ev.lookup, next});
   }
 }

@@ -17,6 +17,8 @@
 #include "overlay/link_table.h"
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace canon {
 
@@ -60,6 +62,12 @@ class EventSimulator {
   /// Simulated clock after run().
   double now_ms() const { return now_; }
 
+  /// Attaches a trace sink. Hop events carry the queueing delay the message
+  /// experienced at the forwarding node and the modeled hop latency;
+  /// lookups interleave, so events are keyed by lookup id. Call before
+  /// submit() so begin_lookup fires for every lookup. nullptr detaches.
+  void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
+
  private:
   struct Event {
     double at_ms = 0;
@@ -80,6 +88,11 @@ class EventSimulator {
   std::vector<std::uint64_t> load_;
   std::vector<double> busy_until_;
   double now_ = 0;
+  telemetry::RouteTraceSink* sink_ = nullptr;
+  std::vector<std::uint64_t> trace_ids_;  // parallel to lookups_
+  telemetry::Counter* messages_counter_;
+  telemetry::Counter* completed_counter_;
+  telemetry::LatencyHistogram* queue_hist_;
 };
 
 }  // namespace canon

@@ -15,7 +15,12 @@ int hop_guard(const OverlayNetwork& net) {
 }  // namespace
 
 RingRouter::RingRouter(const OverlayNetwork& net, const LinkTable& links)
-    : net_(&net), links_(&links), max_hops_(hop_guard(net)) {
+    : net_(&net),
+      links_(&links),
+      max_hops_(hop_guard(net)),
+      routes_counter_(telemetry::maybe_counter("ring_router.routes")),
+      hops_counter_(telemetry::maybe_counter("ring_router.hops")),
+      failures_counter_(telemetry::maybe_counter("ring_router.failures")) {
   if (links.node_count() != net.size()) {
     throw std::invalid_argument("RingRouter: link table size mismatch");
   }
@@ -29,13 +34,15 @@ Route RingRouter::route(std::uint32_t from, NodeId key) const {
   Route r;
   r.path.push_back(from);
   std::uint32_t current = from;
+  const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
   for (int step = 0; step < max_hops_; ++step) {
     const std::uint64_t remaining = space.ring_distance(net_->id(current), key);
     // Choose the neighbor that covers the most clockwise distance without
     // overshooting the key.
     std::uint32_t best = current;
     std::uint64_t best_covered = 0;
-    for (const std::uint32_t nb : links_->neighbors(current)) {
+    const auto neighbors = links_->neighbors(current);
+    for (const std::uint32_t nb : neighbors) {
       const std::uint64_t covered =
           space.ring_distance(net_->id(current), net_->id(nb));
       if (covered <= remaining && covered > best_covered) {
@@ -45,12 +52,34 @@ Route RingRouter::route(std::uint32_t from, NodeId key) const {
     }
     if (best == current) {
       r.ok = (current == net_->responsible(key));
+      if (routes_counter_) {
+        routes_counter_->inc();
+        hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
+        if (!r.ok) failures_counter_->inc();
+      }
+      if (sink_) sink_->end_lookup(trace_id, r.ok, current);
       return r;
+    }
+    if (sink_) {
+      telemetry::HopRecord hop;
+      hop.lookup = trace_id;
+      hop.from = current;
+      hop.to = best;
+      hop.hop_index = step;
+      hop.level = net_->lca_level(current, best);
+      hop.candidates = static_cast<std::uint32_t>(neighbors.size());
+      sink_->on_hop(hop);
     }
     current = best;
     r.path.push_back(current);
   }
   r.ok = false;  // hop guard exceeded: structurally broken table
+  if (routes_counter_) {
+    routes_counter_->inc();
+    hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
+    failures_counter_->inc();
+  }
+  if (sink_) sink_->end_lookup(trace_id, false, current);
   return r;
 }
 
@@ -59,6 +88,7 @@ Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
   Route r;
   r.path.push_back(from);
   std::uint32_t current = from;
+  const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
   for (int step = 0; step < max_hops_; ++step) {
     const NodeId cur_id = net_->id(current);
     const std::uint64_t remaining = space.ring_distance(cur_id, key);
@@ -67,7 +97,8 @@ Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
     std::uint32_t best_v = current;
     std::uint32_t best_w = current;  // == best_v for 1-step plans
     std::uint64_t best_final = remaining;
-    for (const std::uint32_t v : links_->neighbors(current)) {
+    const auto neighbors = links_->neighbors(current);
+    for (const std::uint32_t v : neighbors) {
       const std::uint64_t covered1 =
           space.ring_distance(cur_id, net_->id(v));
       if (covered1 == 0 || covered1 > remaining) continue;
@@ -91,18 +122,56 @@ Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
     }
     if (best_v == current) {
       r.ok = (current == net_->responsible(key));
+      if (routes_counter_) {
+        routes_counter_->inc();
+        hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
+        if (!r.ok) failures_counter_->inc();
+      }
+      if (sink_) sink_->end_lookup(trace_id, r.ok, current);
       return r;
+    }
+    if (sink_) {
+      telemetry::HopRecord hop;
+      hop.lookup = trace_id;
+      hop.from = current;
+      hop.to = best_v;
+      hop.hop_index = r.hops();
+      hop.level = net_->lca_level(current, best_v);
+      hop.candidates = static_cast<std::uint32_t>(neighbors.size());
+      sink_->on_hop(hop);
+      if (best_w != best_v) {
+        telemetry::HopRecord hop2;
+        hop2.lookup = trace_id;
+        hop2.from = best_v;
+        hop2.to = best_w;
+        hop2.hop_index = r.hops() + 1;
+        hop2.level = net_->lca_level(best_v, best_w);
+        hop2.candidates =
+            static_cast<std::uint32_t>(links_->neighbors(best_v).size());
+        sink_->on_hop(hop2);
+      }
     }
     r.path.push_back(best_v);
     if (best_w != best_v) r.path.push_back(best_w);
     current = best_w;
   }
   r.ok = false;
+  if (routes_counter_) {
+    routes_counter_->inc();
+    hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
+    failures_counter_->inc();
+  }
+  if (sink_) sink_->end_lookup(trace_id, false, current);
   return r;
 }
 
 XorRouter::XorRouter(const OverlayNetwork& net, const LinkTable& links)
-    : net_(&net), links_(&links), max_hops_(hop_guard(net)) {
+    : net_(&net),
+      links_(&links),
+      max_hops_(hop_guard(net)),
+      routes_counter_(telemetry::maybe_counter("xor_router.routes")),
+      hops_counter_(telemetry::maybe_counter("xor_router.hops")),
+      failures_counter_(telemetry::maybe_counter("xor_router.failures")) {
   if (links.node_count() != net.size()) {
     throw std::invalid_argument("XorRouter: link table size mismatch");
   }
@@ -116,11 +185,13 @@ Route XorRouter::route(std::uint32_t from, NodeId key) const {
   Route r;
   r.path.push_back(from);
   std::uint32_t current = from;
+  const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
   for (int step = 0; step < max_hops_; ++step) {
     const std::uint64_t remaining = space.xor_distance(net_->id(current), key);
     std::uint32_t best = current;
     std::uint64_t best_remaining = remaining;
-    for (const std::uint32_t nb : links_->neighbors(current)) {
+    const auto neighbors = links_->neighbors(current);
+    for (const std::uint32_t nb : neighbors) {
       const std::uint64_t d = space.xor_distance(net_->id(nb), key);
       if (d < best_remaining) {
         best_remaining = d;
@@ -129,12 +200,34 @@ Route XorRouter::route(std::uint32_t from, NodeId key) const {
     }
     if (best == current) {
       r.ok = (current == net_->xor_closest(key));
+      if (routes_counter_) {
+        routes_counter_->inc();
+        hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
+        if (!r.ok) failures_counter_->inc();
+      }
+      if (sink_) sink_->end_lookup(trace_id, r.ok, current);
       return r;
+    }
+    if (sink_) {
+      telemetry::HopRecord hop;
+      hop.lookup = trace_id;
+      hop.from = current;
+      hop.to = best;
+      hop.hop_index = step;
+      hop.level = net_->lca_level(current, best);
+      hop.candidates = static_cast<std::uint32_t>(neighbors.size());
+      sink_->on_hop(hop);
     }
     current = best;
     r.path.push_back(current);
   }
   r.ok = false;
+  if (routes_counter_) {
+    routes_counter_->inc();
+    hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
+    failures_counter_->inc();
+  }
+  if (sink_) sink_->end_lookup(trace_id, false, current);
   return r;
 }
 

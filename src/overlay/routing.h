@@ -17,6 +17,8 @@
 #include "common/ids.h"
 #include "overlay/link_table.h"
 #include "overlay/overlay_network.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace canon {
 
@@ -44,10 +46,18 @@ class RingRouter {
   /// and takes the first step of the best 2-step plan (Symphony, §3.1).
   Route route_lookahead(std::uint32_t from, NodeId key) const;
 
+  /// Attaches a trace sink receiving per-hop events (hierarchy level,
+  /// candidates evaluated) for every subsequent route; nullptr detaches.
+  void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
+
  private:
   const OverlayNetwork* net_;
   const LinkTable* links_;
   int max_hops_;
+  telemetry::RouteTraceSink* sink_ = nullptr;
+  telemetry::Counter* routes_counter_;
+  telemetry::Counter* hops_counter_;
+  telemetry::Counter* failures_counter_;
 };
 
 /// Greedy XOR routing for the Kademlia/CAN families.
@@ -59,10 +69,17 @@ class XorRouter {
   /// iff the terminal node is the global XOR-closest node to the key.
   Route route(std::uint32_t from, NodeId key) const;
 
+  /// Attaches a trace sink (see RingRouter::set_trace).
+  void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
+
  private:
   const OverlayNetwork* net_;
   const LinkTable* links_;
   int max_hops_;
+  telemetry::RouteTraceSink* sink_ = nullptr;
+  telemetry::Counter* routes_counter_;
+  telemetry::Counter* hops_counter_;
+  telemetry::Counter* failures_counter_;
 };
 
 }  // namespace canon

@@ -1,0 +1,92 @@
+// Dependency-free JSON document model, writer and parser.
+//
+// Just enough JSON for machine-readable experiment reports: a JsonValue
+// variant (null / bool / number / string / array / object), a serializer
+// with full string escaping and stable member ordering (objects preserve
+// insertion order, so a report's schema is byte-stable across runs), and a
+// strict recursive-descent parser used by tests and report-diff tooling to
+// round-trip generated reports.
+//
+// Numbers are stored as int64 when representable (serialized without a
+// decimal point) and double otherwise.
+#ifndef CANON_TELEMETRY_JSON_WRITER_H
+#define CANON_TELEMETRY_JSON_WRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace canon::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kNumber), is_int_(true), int_(v) {}
+  JsonValue(std::uint64_t v);
+  JsonValue(double v);
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string_view s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue array() { return JsonValue(Kind::kArray); }
+  static JsonValue object() { return JsonValue(Kind::kObject); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Typed accessors; throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  void push_back(JsonValue v);
+  const std::vector<JsonValue>& items() const;
+  std::size_t size() const;
+
+  /// Object access. set() replaces an existing key in place (keeping its
+  /// position) or appends; get() returns nullptr when absent.
+  JsonValue& set(std::string_view key, JsonValue v);
+  const JsonValue* get(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  void write(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (throws std::runtime_error
+  /// on malformed input or trailing garbage).
+  static JsonValue parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Kind k) : kind_(k) {}
+  void write_indented(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  bool is_int_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Writes `s` as a JSON string literal (quotes, escapes) to `os`.
+void write_json_string(std::ostream& os, std::string_view s);
+
+}  // namespace canon::telemetry
+
+#endif  // CANON_TELEMETRY_JSON_WRITER_H

@@ -1,0 +1,89 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+
+namespace canon::telemetry {
+
+namespace {
+MetricsRegistry* g_registry = nullptr;
+}  // namespace
+
+double LatencyHistogram::mean_ms() const {
+  if (count_ == 0) return 0;
+  return static_cast<double>(sum_ns_) / 1e6 / static_cast<double>(count_);
+}
+
+int LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  const int idx = std::bit_width(ns);  // floor(log2(ns)) + 1
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_floor_ns(int i) {
+  if (i <= 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+double LatencyHistogram::quantile_upper_ms(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t acc = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    acc += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(acc) >= target && acc > 0) {
+      // Exclusive upper edge of bucket i == inclusive floor of bucket i+1;
+      // clamp the open-ended last bucket to the observed max.
+      if (i + 1 >= kBuckets) break;
+      const std::uint64_t edge = bucket_floor_ns(i + 1);
+      return static_cast<double>(edge < max_ns_ ? edge : max_ns_) / 1e6;
+    }
+  }
+  return static_cast<double>(max_ns_) / 1e6;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  if (other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), LatencyHistogram{})
+      .first->second;
+}
+
+MetricsRegistry* registry() { return g_registry; }
+
+MetricsRegistry* install_registry(MetricsRegistry* r) {
+  MetricsRegistry* prev = g_registry;
+  g_registry = r;
+  return prev;
+}
+
+}  // namespace canon::telemetry

@@ -1,0 +1,83 @@
+#include "telemetry/report.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace canon::telemetry {
+
+BenchReport::BenchReport(std::string bench_name, std::uint64_t seed)
+    : bench_name_(std::move(bench_name)), seed_(seed) {}
+
+void BenchReport::set_param(std::string_view name, JsonValue v) {
+  params_.set(name, std::move(v));
+}
+
+void BenchReport::set_metric(std::string_view name, JsonValue v) {
+  metrics_.set(name, std::move(v));
+}
+
+void BenchReport::add_row(JsonValue row) { series_.push_back(std::move(row)); }
+
+void BenchReport::set_series(JsonValue series) {
+  if (!series.is_array()) {
+    throw std::logic_error("BenchReport::set_series: not an array");
+  }
+  series_ = std::move(series);
+}
+
+JsonValue histogram_to_json(const LatencyHistogram& h) {
+  JsonValue o = JsonValue::object();
+  o.set("count", JsonValue(h.count()));
+  o.set("total_ms", JsonValue(h.total_ms()));
+  o.set("mean_ms", JsonValue(h.mean_ms()));
+  o.set("min_ms", JsonValue(h.min_ms()));
+  o.set("max_ms", JsonValue(h.max_ms()));
+  o.set("p50_ms", JsonValue(h.quantile_upper_ms(0.5)));
+  o.set("p99_ms", JsonValue(h.quantile_upper_ms(0.99)));
+  return o;
+}
+
+void BenchReport::merge_registry(const MetricsRegistry& reg) {
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : reg.counters()) {
+    counters.set(name, JsonValue(c.value()));
+  }
+  metrics_.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : reg.gauges()) {
+    gauges.set(name, JsonValue(g.value()));
+  }
+  metrics_.set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::object();
+  for (const auto& [name, h] : reg.histograms()) {
+    hists.set(name, histogram_to_json(h));
+  }
+  metrics_.set("histograms", std::move(hists));
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("bench", JsonValue(bench_name_));
+  doc.set("seed", JsonValue(seed_));
+  doc.set("params", params_);
+  doc.set("metrics", metrics_);
+  doc.set("series", series_);
+  return doc;
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("BenchReport: cannot open " + path);
+  }
+  to_json().write(out, 2);
+  out << '\n';
+  if (!out) {
+    throw std::runtime_error("BenchReport: write failed for " + path);
+  }
+}
+
+}  // namespace canon::telemetry

@@ -1,0 +1,77 @@
+// Machine-readable experiment reports.
+//
+// Every bench binary can emit, next to its human-readable table, a JSON
+// report with the stable top-level schema
+//
+//   {
+//     "bench":   "<binary name>",
+//     "seed":    <u64>,
+//     "params":  { "<flag>": <value>, ... },     // effective parameters
+//     "metrics": {
+//       "counters":   { "<name>": <u64>, ... },
+//       "gauges":     { "<name>": <double>, ... },
+//       "histograms": { "<name>": {count, total_ms, mean_ms, min_ms,
+//                                  max_ms, p50_ms, p99_ms}, ... }
+//     },
+//     "series":  [ { ... }, ... ]                // bench-specific rows
+//   }
+//
+// All four top-level keys are always present (empty objects/arrays when
+// unused) so downstream diff tooling never needs existence checks. See
+// docs/TELEMETRY.md for the schema contract and diffing workflow.
+#ifndef CANON_TELEMETRY_REPORT_H
+#define CANON_TELEMETRY_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+
+namespace canon::telemetry {
+
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, std::uint64_t seed);
+
+  const std::string& bench_name() const { return bench_name_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Records an effective parameter (flag value) under "params".
+  void set_param(std::string_view name, JsonValue v);
+
+  /// Records a top-level scalar under "metrics" (outside the registry
+  /// sections), e.g. a bench-computed aggregate.
+  void set_metric(std::string_view name, JsonValue v);
+
+  /// Appends one row to "series".
+  void add_row(JsonValue row);
+
+  /// Replaces "series" wholesale (must be an array).
+  void set_series(JsonValue series);
+
+  /// Folds a registry snapshot into "metrics": counters, gauges and
+  /// histogram summaries, keyed by instrument name.
+  void merge_registry(const MetricsRegistry& reg);
+
+  /// The complete document, schema as per the file comment.
+  JsonValue to_json() const;
+
+  /// Pretty-prints to `path`; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::uint64_t seed_;
+  JsonValue params_ = JsonValue::object();
+  JsonValue metrics_ = JsonValue::object();
+  JsonValue series_ = JsonValue::array();
+};
+
+/// Summary object for one histogram (the "histograms" values above).
+JsonValue histogram_to_json(const LatencyHistogram& h);
+
+}  // namespace canon::telemetry
+
+#endif  // CANON_TELEMETRY_REPORT_H

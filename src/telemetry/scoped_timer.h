@@ -1,0 +1,66 @@
+// Scoped wall-clock timers feeding the metrics registry.
+//
+// ScopedTimer measures the wall-clock time from construction to stop() (or
+// destruction) and records it into a LatencyHistogram — typically one
+// resolved by name from the installed registry. When telemetry is off the
+// histogram pointer is null and the timer degrades to two clock reads with
+// no recording.
+#ifndef CANON_TELEMETRY_SCOPED_TIMER_H
+#define CANON_TELEMETRY_SCOPED_TIMER_H
+
+#include <chrono>
+#include <string_view>
+
+#include "telemetry/metrics.h"
+
+namespace canon::telemetry {
+
+class ScopedTimer {
+ public:
+  /// Records into `hist` on stop; null means "time but do not record".
+  explicit ScopedTimer(LatencyHistogram* hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+
+  /// Resolves `name` against the installed registry (no-op if none).
+  explicit ScopedTimer(std::string_view name)
+      : ScopedTimer(maybe_histogram(name)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Stops the timer and records the elapsed duration (first call only).
+  /// Returns the elapsed milliseconds.
+  double stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_ns_ = elapsed_now_ns();
+      if (hist_) hist_->record_ns(elapsed_ns_);
+    }
+    return static_cast<double>(elapsed_ns_) / 1e6;
+  }
+
+  /// Elapsed milliseconds so far (or at stop time, once stopped).
+  double elapsed_ms() const {
+    return static_cast<double>(stopped_ ? elapsed_ns_ : elapsed_now_ns()) /
+           1e6;
+  }
+
+ private:
+  std::uint64_t elapsed_now_ns() const {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  }
+
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t elapsed_ns_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace canon::telemetry
+
+#endif  // CANON_TELEMETRY_SCOPED_TIMER_H
