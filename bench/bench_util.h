@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
@@ -123,6 +124,14 @@ class BenchRun {
     if (json_enabled()) {
       prev_registry_ = telemetry::install_registry(&registry_);
     }
+    // Construction thread count (0 ⇒ hardware_concurrency, 1 ⇒ the exact
+    // serial code path). Builds are deterministic at any thread count, so
+    // --threads never changes a figure's numbers — only its wall clock.
+    set_parallel_threads(
+        static_cast<int>(flag_u64(argc, argv, "threads", 0)));
+    record("threads", std::to_string(parallel_threads()),
+           telemetry::JsonValue(
+               static_cast<std::int64_t>(parallel_threads())));
   }
 
   BenchRun(const BenchRun&) = delete;

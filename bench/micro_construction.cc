@@ -10,6 +10,8 @@
 #include "dht/chord.h"
 #include "dht/kademlia.h"
 #include "overlay/population.h"
+#include "topology/latency_matrix.h"
+#include "topology/transit_stub.h"
 
 namespace canon {
 namespace {
@@ -39,7 +41,7 @@ void BM_BuildCrescendo(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_BuildCrescendo)->Arg(1024)->Arg(8192)->Arg(32768);
+BENCHMARK(BM_BuildCrescendo)->Arg(1024)->Arg(8192)->Arg(32768)->Arg(65536);
 
 void BM_BuildKandy(benchmark::State& state) {
   const auto net = population(state.range(0), 4);
@@ -61,6 +63,17 @@ void BM_BuildCanCan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BuildCanCan)->Arg(1024)->Arg(8192);
+
+void BM_BuildLatencyMatrix(benchmark::State& state) {
+  // The paper's 2040-router transit-stub graph: one Dijkstra per router.
+  Rng rng(42);
+  const TransitStubTopology topo(TransitStubConfig{}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LatencyMatrix(topo).router_count());
+  }
+  state.SetItemsProcessed(state.iterations() * topo.router_count());
+}
+BENCHMARK(BM_BuildLatencyMatrix);
 
 }  // namespace
 }  // namespace canon

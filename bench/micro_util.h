@@ -38,12 +38,17 @@ inline int run_micro_benchmarks(int argc, char** argv,
                                 const char* bench_name) {
   const std::string json_path = flag_str(argc, argv, "json", "");
   const std::uint64_t seed = flag_u64(argc, argv, "seed", 42);
+  // --threads=N (0 ⇒ hardware_concurrency, 1 ⇒ exact serial path) for the
+  // construction benchmarks; deterministic, only affects wall clock.
+  set_parallel_threads(
+      static_cast<int>(flag_u64(argc, argv, "threads", 0)));
 
   // Hide our flags from google-benchmark's strict parser.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json", 6) == 0 ||
-        std::strncmp(argv[i], "--seed", 6) == 0) {
+        std::strncmp(argv[i], "--seed", 6) == 0 ||
+        std::strncmp(argv[i], "--threads", 9) == 0) {
       continue;
     }
     args.push_back(argv[i]);
@@ -65,6 +70,9 @@ inline int run_micro_benchmarks(int argc, char** argv,
   if (!json_path.empty()) {
     telemetry::install_registry(prev);
     telemetry::BenchReport report(bench_name, seed);
+    report.set_param("threads",
+                     telemetry::JsonValue(
+                         static_cast<std::int64_t>(parallel_threads())));
     for (const auto& r : reporter.runs()) {
       telemetry::JsonValue row = telemetry::JsonValue::object();
       row.set("name", telemetry::JsonValue(r.benchmark_name()));

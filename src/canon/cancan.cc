@@ -3,23 +3,32 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
+#include "telemetry/scoped_timer.h"
 
 namespace canon {
 
 CanCanNetwork::CanCanNetwork(const OverlayNetwork& net)
     : net_(&net), links_(net.size()) {
+  telemetry::ScopedTimer timer("build.cancan_ms");
   const DomainTree& dom = net.domains();
   trees_.resize(static_cast<std::size_t>(dom.domain_count()));
-  for (int d = 0; d < dom.domain_count(); ++d) {
-    const auto& members = dom.domain(d).members;
-    trees_[static_cast<std::size_t>(d)] = std::make_unique<ZoneTree>(
-        net, std::span<const std::uint32_t>{members.data(), members.size()});
-  }
+  // Per-domain zone tries are independent; one shard per few domains.
+  parallel_for(static_cast<std::size_t>(dom.domain_count()), 4,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t d = begin; d < end; ++d) {
+                   const auto& members =
+                       dom.domain(static_cast<int>(d)).members;
+                   trees_[d] = std::make_unique<ZoneTree>(
+                       net, std::span<const std::uint32_t>{members.data(),
+                                                           members.size()});
+                 }
+               });
 
-  std::vector<std::uint32_t> face;
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
+  const auto add_node_links = [&](std::uint32_t m,
+                                  std::vector<std::uint32_t>& face) {
     const auto& chain = dom.domain_chain(m);
     const int leaf = static_cast<int>(chain.size()) - 1;
     // Leaf domain: every CAN edge.
@@ -54,8 +63,15 @@ CanCanNetwork::CanCanNetwork(const OverlayNetwork& net)
         for (const std::uint32_t v : face) links_.add(m, v);
       }
     }
-  }
-  links_.finalize();
+  };
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin,
+                                           std::size_t end) {
+    std::vector<std::uint32_t> face;  // per-shard scratch
+    for (std::size_t m = begin; m < end; ++m) {
+      add_node_links(static_cast<std::uint32_t>(m), face);
+    }
+  });
+  links_.finalize(net.ids());
 }
 
 std::uint32_t CanCanNetwork::responsible(NodeId key) const {

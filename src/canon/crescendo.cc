@@ -1,5 +1,6 @@
 #include "canon/crescendo.h"
 
+#include "common/parallel.h"
 #include "dht/chord.h"
 #include "telemetry/scoped_timer.h"
 
@@ -26,10 +27,12 @@ void add_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
 LinkTable build_crescendo(const OverlayNetwork& net) {
   telemetry::ScopedTimer timer("build.crescendo_ms");
   LinkTable out(net.size());
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_crescendo_links(net, m, out);
-  }
-  out.finalize();
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      add_crescendo_links(net, static_cast<std::uint32_t>(m), out);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "canon/kandy.h"
 
+#include "common/parallel.h"
 #include "telemetry/scoped_timer.h"
 
 #include "dht/chord.h"
@@ -27,10 +28,17 @@ LinkTable build_kandy(const OverlayNetwork& net, BucketChoice choice, Rng& rng,
                       MergePolicy policy) {
   telemetry::ScopedTimer timer("build.kandy_ms");
   LinkTable out(net.size());
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_kandy_links(net, m, choice, policy, rng, out);
-  }
-  out.finalize();
+  // Per-node forked RNG streams (see build_symphony): deterministic at any
+  // thread count.
+  const Rng base = rng;
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      Rng node_rng = base.fork(m);
+      add_kandy_links(net, static_cast<std::uint32_t>(m), choice, policy,
+                      node_rng, out);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

@@ -2,32 +2,44 @@
 
 #include "telemetry/scoped_timer.h"
 
+#include "common/parallel.h"
 #include "dht/chord.h"
 
 namespace canon {
 
+namespace {
+
+void add_clique_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
+                                LinkTable& out) {
+  const DomainTree& dom = net.domains();
+  const auto& chain = dom.domain_chain(m);
+  const int leaf = static_cast<int>(chain.size()) - 1;
+  // Leaf domain: complete graph.
+  const RingView leaf_ring =
+      net.domain_ring(chain[static_cast<std::size_t>(leaf)]);
+  for (const std::uint32_t v : leaf_ring.members()) out.add(m, v);
+  // Higher levels: the standard Crescendo merge.
+  for (int level = leaf - 1; level >= 0; --level) {
+    const std::uint64_t limit =
+        net.domain_ring(chain[static_cast<std::size_t>(level + 1)])
+            .successor_distance(net.id(m));
+    add_chord_fingers(net,
+                      net.domain_ring(chain[static_cast<std::size_t>(level)]),
+                      m, limit, out);
+  }
+}
+
+}  // namespace
+
 LinkTable build_clique_crescendo(const OverlayNetwork& net) {
   telemetry::ScopedTimer timer("build.clique_crescendo_ms");
   LinkTable out(net.size());
-  const DomainTree& dom = net.domains();
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    const auto& chain = dom.domain_chain(m);
-    const int leaf = static_cast<int>(chain.size()) - 1;
-    // Leaf domain: complete graph.
-    const RingView leaf_ring =
-        net.domain_ring(chain[static_cast<std::size_t>(leaf)]);
-    for (const std::uint32_t v : leaf_ring.members()) out.add(m, v);
-    // Higher levels: the standard Crescendo merge.
-    for (int level = leaf - 1; level >= 0; --level) {
-      const std::uint64_t limit =
-          net.domain_ring(chain[static_cast<std::size_t>(level + 1)])
-              .successor_distance(net.id(m));
-      add_chord_fingers(
-          net, net.domain_ring(chain[static_cast<std::size_t>(level)]), m,
-          limit, out);
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      add_clique_crescendo_links(net, static_cast<std::uint32_t>(m), out);
     }
-  }
-  out.finalize();
+  });
+  out.finalize(net.ids());
   return out;
 }
 

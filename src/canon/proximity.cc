@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.h"
 #include "dht/chord.h"
 
 namespace canon {
@@ -140,11 +141,18 @@ LinkTable build_chord_prox(const OverlayNetwork& net,
                            Rng& rng) {
   telemetry::ScopedTimer timer("build.chord_prox_ms");
   LinkTable out(net.size());
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_clique_links(groups, m, out);
-    add_group_links(net, groups, m, kNoLimit, latency, cfg, rng, out);
-  }
-  out.finalize();
+  // Per-node forked RNG streams (see build_symphony): deterministic at any
+  // thread count.
+  const Rng base = rng;
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto m = static_cast<std::uint32_t>(i);
+      Rng node_rng = base.fork(m);
+      add_clique_links(groups, m, out);
+      add_group_links(net, groups, m, kNoLimit, latency, cfg, node_rng, out);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 
@@ -155,14 +163,14 @@ LinkTable build_crescendo_prox(const OverlayNetwork& net,
   telemetry::ScopedTimer timer("build.crescendo_prox_ms");
   LinkTable out(net.size());
   const DomainTree& dom = net.domains();
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
+  const auto add_node_links = [&](std::uint32_t m, Rng& node_rng) {
     add_clique_links(groups, m, out);
     const auto& chain = dom.domain_chain(m);
     const int leaf = static_cast<int>(chain.size()) - 1;
     if (leaf == 0) {
       // Flat population: the whole structure is group-based.
-      add_group_links(net, groups, m, kNoLimit, latency, cfg, rng, out);
-      continue;
+      add_group_links(net, groups, m, kNoLimit, latency, cfg, node_rng, out);
+      return;
     }
     // Normal Crescendo inside the leaf and at every merge except the root.
     add_chord_fingers(net,
@@ -185,11 +193,20 @@ LinkTable build_crescendo_prox(const OverlayNetwork& net,
     if (succ != RingView::kNone && succ != m) {
       group_limit = groups.group_distance(groups.gid_of_node(m),
                                           groups.gid_of_node(succ));
-      if (group_limit == 0) continue;  // child successor shares the group
+      if (group_limit == 0) return;  // child successor shares the group
     }
-    add_group_links(net, groups, m, group_limit, latency, cfg, rng, out);
-  }
-  out.finalize();
+    add_group_links(net, groups, m, group_limit, latency, cfg, node_rng, out);
+  };
+  // Per-node forked RNG streams (see build_symphony): deterministic at any
+  // thread count.
+  const Rng base = rng;
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      Rng node_rng = base.fork(m);
+      add_node_links(static_cast<std::uint32_t>(m), node_rng);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

@@ -1,0 +1,132 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace canon {
+
+namespace {
+
+std::atomic<int> g_requested_threads{0};  // 0 = hardware_concurrency
+
+int effective_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// The process-wide pool, created lazily and rebuilt when the requested
+// thread count changes. Guarded by its own mutex: parallel_for is not
+// expected to race with itself, but lazy creation must still be safe.
+std::mutex g_pool_mutex;
+ThreadPool* g_pool = nullptr;  // intentionally leaked (crash-only teardown)
+int g_pool_workers = 0;
+
+ThreadPool& default_pool(int workers) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr || g_pool_workers != workers) {
+    delete g_pool;
+    g_pool = new ThreadPool(workers);
+    g_pool_workers = workers;
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+int parallel_threads() {
+  return effective_threads(g_requested_threads.load(std::memory_order_relaxed));
+}
+
+void set_parallel_threads(int n) {
+  if (n < 0) throw std::invalid_argument("set_parallel_threads: n < 0");
+  g_requested_threads.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 1) throw std::invalid_argument("ThreadPool: workers < 1");
+  spawned_ = workers - 1;
+  threads_.reserve(static_cast<std::size_t>(spawned_));
+  for (int i = 0; i < spawned_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    ++busy_;
+    drain_job();  // temporarily releases mutex_ around each shard
+    if (--busy_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::drain_job() {
+  // Called with mutex_ held; leaves with mutex_ held.
+  while (next_shard_ < shard_count_) {
+    const std::size_t mine = next_shard_++;
+    mutex_.unlock();
+    try {
+      (*shard_fn_)(mine);
+      mutex_.lock();
+    } catch (...) {
+      mutex_.lock();
+      if (!error_) error_ = std::current_exception();
+      next_shard_ = shard_count_;  // abandon the remaining shards
+    }
+  }
+}
+
+void ThreadPool::for_shards(std::size_t shard_count,
+                            const std::function<void(std::size_t)>& shard) {
+  if (shard_count == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  shard_count_ = shard_count;
+  next_shard_ = 0;
+  shard_fn_ = &shard;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  drain_job();  // the submitting thread works too
+  done_cv_.wait(lock, [&] { return busy_ == 0; });
+  shard_fn_ = nullptr;
+  shard_count_ = 0;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const int workers = parallel_threads();
+  if (workers <= 1 || n <= grain) {
+    fn(0, n);  // exact serial path
+    return;
+  }
+  const std::size_t shards = (n + grain - 1) / grain;
+  default_pool(workers).for_shards(shards, [&](std::size_t s) {
+    const std::size_t begin = s * grain;
+    fn(begin, std::min(begin + grain, n));
+  });
+}
+
+}  // namespace canon

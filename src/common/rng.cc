@@ -27,7 +27,7 @@ double Rng::uniform_double() {
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
-Rng Rng::fork(std::uint64_t stream) {
+Rng Rng::fork(std::uint64_t stream) const {
   SplitMix64 sm(state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL));
   return Rng(sm.next());
 }

@@ -72,8 +72,11 @@ class Rng {
   double uniform_double();
 
   /// A derived generator with an independent stream; useful for giving each
-  /// module of an experiment its own deterministic stream.
-  Rng fork(std::uint64_t stream);
+  /// module of an experiment — or each node of a sharded parallel build —
+  /// its own deterministic stream. Depends only on the current state and
+  /// `stream`, never advances this generator, so forks taken in any order
+  /// (or concurrently from a const base) are identical.
+  Rng fork(std::uint64_t stream) const;
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

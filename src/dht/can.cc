@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "telemetry/scoped_timer.h"
+
 namespace canon {
 
 namespace {
@@ -181,13 +184,21 @@ int ZoneTree::match_len(std::uint32_t node, NodeId key) const {
 }
 
 CanNetwork build_can(const OverlayNetwork& net) {
+  telemetry::ScopedTimer timer("build.can_ms");
   const RingView ring = net.ring();
   ZoneTree tree(net, ring.members());
   LinkTable links(net.size());
-  for (const std::uint32_t m : ring.members()) {
-    for (const std::uint32_t v : tree.neighbors(m)) links.add(m, v);
-  }
-  links.finalize();
+  const auto members = ring.members();
+  parallel_for(members.size(), kNodeGrain,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const std::uint32_t m = members[i];
+                   for (const std::uint32_t v : tree.neighbors(m)) {
+                     links.add(m, v);
+                   }
+                 }
+               });
+  links.finalize(net.ids());
   return CanNetwork{std::move(tree), std::move(links)};
 }
 

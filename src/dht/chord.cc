@@ -1,5 +1,6 @@
 #include "dht/chord.h"
 
+#include "common/parallel.h"
 #include "telemetry/scoped_timer.h"
 
 namespace canon {
@@ -21,10 +22,13 @@ LinkTable build_chord(const OverlayNetwork& net) {
   telemetry::ScopedTimer timer("build.chord_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_chord_fingers(net, ring, m, kNoLimit, out);
-  }
-  out.finalize();
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      add_chord_fingers(net, ring, static_cast<std::uint32_t>(m), kNoLimit,
+                        out);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "dht/kademlia.h"
 
+#include "common/parallel.h"
 #include "telemetry/scoped_timer.h"
 
 #include <algorithm>
@@ -124,11 +125,18 @@ LinkTable build_kademlia(const OverlayNetwork& net, BucketChoice choice,
   telemetry::ScopedTimer timer("build.kademlia_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_kademlia_links(net, ring, m, /*child=*/nullptr, choice,
-                       MergePolicy::kFrugal, rng, out, replication);
-  }
-  out.finalize();
+  // Per-node forked RNG streams (see build_symphony): deterministic at any
+  // thread count.
+  const Rng base = rng;
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      Rng node_rng = base.fork(m);
+      add_kademlia_links(net, ring, static_cast<std::uint32_t>(m),
+                         /*child=*/nullptr, choice, MergePolicy::kFrugal,
+                         node_rng, out, replication);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

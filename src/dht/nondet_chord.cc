@@ -1,5 +1,6 @@
 #include "dht/nondet_chord.h"
 
+#include "common/parallel.h"
 #include "telemetry/scoped_timer.h"
 
 #include <algorithm>
@@ -38,10 +39,17 @@ LinkTable build_nondet_chord(const OverlayNetwork& net, Rng& rng) {
   telemetry::ScopedTimer timer("build.nondet_chord_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_nondet_chord_links(net, ring, m, kNoLimit, rng, out);
-  }
-  out.finalize();
+  // Per-node forked RNG streams (see build_symphony): deterministic at any
+  // thread count.
+  const Rng base = rng;
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      Rng node_rng = base.fork(m);
+      add_nondet_chord_links(net, ring, static_cast<std::uint32_t>(m),
+                             kNoLimit, node_rng, out);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "dht/symphony.h"
 
+#include "common/parallel.h"
 #include "telemetry/scoped_timer.h"
 
 #include <cmath>
@@ -40,10 +41,18 @@ LinkTable build_symphony(const OverlayNetwork& net, Rng& rng) {
   telemetry::ScopedTimer timer("build.symphony_ms");
   LinkTable out(net.size());
   const RingView ring = net.ring();
-  for (std::uint32_t m = 0; m < net.size(); ++m) {
-    add_symphony_links(net, ring, m, kNoLimit, /*draws=*/-1, rng, out);
-  }
-  out.finalize();
+  // Per-node RNG streams forked from the caller's generator: node m draws
+  // from base.fork(m) regardless of visit order, so serial and sharded
+  // builds produce byte-identical tables.
+  const Rng base = rng;
+  parallel_for(net.size(), kNodeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      Rng node_rng = base.fork(m);
+      add_symphony_links(net, ring, static_cast<std::uint32_t>(m), kNoLimit,
+                         /*draws=*/-1, node_rng, out);
+    }
+  });
+  out.finalize(net.ids());
   return out;
 }
 

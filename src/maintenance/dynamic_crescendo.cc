@@ -32,7 +32,9 @@ LinkTable DynamicCrescendo::link_table() const {
     const std::uint32_t from = net_->index_of(id);
     for (const NodeId nb : neighbors) table.add(from, net_->index_of(nb));
   }
-  table.finalize();
+  // Capture inline neighbor IDs so routers built on maintenance snapshots
+  // use the same flat CSR fast path as the static builders.
+  table.finalize(net_->ids());
   return table;
 }
 

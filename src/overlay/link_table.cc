@@ -3,59 +3,114 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "telemetry/metrics.h"
+
 namespace canon {
 
-LinkTable::LinkTable(std::size_t node_count) : out_(node_count) {}
+namespace {
+
+/// Rows per finalize() shard: sorting a handful of short adjacency rows is
+/// cheap, so shards need to batch enough of them to amortize scheduling.
+constexpr std::size_t kFinalizeGrain = 512;
+
+}  // namespace
+
+LinkTable::LinkTable(std::size_t node_count)
+    : node_count_(node_count), rows_(node_count) {}
 
 void LinkTable::add(std::uint32_t from, std::uint32_t to) {
-  if (from >= out_.size() || to >= out_.size()) {
+  if (from >= node_count_ || to >= node_count_) {
     throw std::out_of_range("LinkTable::add: node index out of range");
   }
+  if (finalized_) {
+    throw std::logic_error(
+        "LinkTable::add: table is finalized (use set_neighbors to edit)");
+  }
   if (from == to) return;
-  out_[from].push_back(to);
-  finalized_ = false;
+  rows_[from].push_back(to);
 }
 
-void LinkTable::finalize() {
-  for (auto& list : out_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
+void LinkTable::finalize(std::span<const NodeId> ids) {
+  if (finalized_) return;
+  if (!ids.empty() && ids.size() != node_count_) {
+    throw std::invalid_argument("LinkTable::finalize: ids size mismatch");
   }
+  if (telemetry::Gauge* g = telemetry::maybe_gauge("build.threads")) {
+    g->set(parallel_threads());
+  }
+  // Sort and deduplicate every row; rows are independent, so shard them.
+  parallel_for(node_count_, kFinalizeGrain,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t m = begin; m < end; ++m) {
+                   auto& row = rows_[m];
+                   std::sort(row.begin(), row.end());
+                   row.erase(std::unique(row.begin(), row.end()), row.end());
+                 }
+               });
+  // Serial prefix sum over the row sizes, then a sharded scatter into the
+  // flat arrays; both stages depend only on row contents, so the layout is
+  // identical at every thread count.
+  offsets_.assign(node_count_ + 1, 0);
+  for (std::size_t m = 0; m < node_count_; ++m) {
+    offsets_[m + 1] = offsets_[m] + rows_[m].size();
+  }
+  targets_.resize(offsets_[node_count_]);
+  if (!ids.empty()) {
+    ids_.assign(ids.begin(), ids.end());
+    target_ids_.resize(offsets_[node_count_]);
+  }
+  parallel_for(node_count_, kFinalizeGrain,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t m = begin; m < end; ++m) {
+                   std::size_t k = offsets_[m];
+                   for (const std::uint32_t to : rows_[m]) {
+                     targets_[k] = to;
+                     if (!ids_.empty()) target_ids_[k] = ids_[to];
+                     ++k;
+                   }
+                 }
+               });
+  rows_.clear();
+  rows_.shrink_to_fit();
   finalized_ = true;
 }
 
-std::span<const std::uint32_t> LinkTable::neighbors(std::uint32_t node) const {
-  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
-  const auto& list = out_[node];
-  return {list.data(), list.size()};
+void LinkTable::throw_neighbor_ids_unavailable() const {
+  if (!finalized_) {
+    throw std::logic_error(
+        "LinkTable::neighbor_ids: finalize() has not been called");
+  }
+  throw std::logic_error(
+      "LinkTable::neighbor_ids: finalize(ids) did not capture node IDs");
 }
 
 bool LinkTable::has_link(std::uint32_t from, std::uint32_t to) const {
-  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
-  const auto& list = out_[from];
-  return std::binary_search(list.begin(), list.end(), to);
-}
-
-std::size_t LinkTable::degree(std::uint32_t node) const {
-  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
-  return out_[node].size();
+  if (!finalized_) {
+    throw std::logic_error(
+        "LinkTable::has_link: finalize() has not been called");
+  }
+  const auto row = neighbors(from);
+  return std::binary_search(row.begin(), row.end(), to);
 }
 
 std::size_t LinkTable::total_links() const {
-  if (!finalized_) throw std::logic_error("LinkTable: not finalized");
-  std::size_t total = 0;
-  for (const auto& list : out_) total += list.size();
-  return total;
+  if (!finalized_) {
+    throw std::logic_error(
+        "LinkTable::total_links: finalize() has not been called");
+  }
+  return targets_.size();
 }
 
 double LinkTable::mean_degree() const {
-  if (out_.empty()) return 0;
-  return static_cast<double>(total_links()) / static_cast<double>(out_.size());
+  if (node_count_ == 0) return 0;
+  return static_cast<double>(total_links()) /
+         static_cast<double>(node_count_);
 }
 
 Histogram LinkTable::degree_histogram() const {
   Histogram h;
-  for (std::uint32_t i = 0; i < out_.size(); ++i) {
+  for (std::uint32_t i = 0; i < node_count_; ++i) {
     h.add(static_cast<std::int64_t>(degree(i)));
   }
   return h;
@@ -63,7 +118,7 @@ Histogram LinkTable::degree_histogram() const {
 
 void LinkTable::set_neighbors(std::uint32_t node,
                               std::vector<std::uint32_t> neighbors) {
-  if (node >= out_.size()) {
+  if (node >= node_count_) {
     throw std::out_of_range("LinkTable::set_neighbors: node out of range");
   }
   std::sort(neighbors.begin(), neighbors.end());
@@ -71,7 +126,55 @@ void LinkTable::set_neighbors(std::uint32_t node,
                   neighbors.end());
   neighbors.erase(std::remove(neighbors.begin(), neighbors.end(), node),
                   neighbors.end());
-  out_[node] = std::move(neighbors);
+  if (!neighbors.empty() && neighbors.back() >= node_count_) {
+    throw std::out_of_range("LinkTable::set_neighbors: neighbor out of range");
+  }
+  if (!finalized_) {
+    rows_[node] = std::move(neighbors);
+    return;
+  }
+  // CSR edit path: splice the row in place. Equal-size rewrites touch only
+  // the row; size changes shift the tail of the flat arrays once.
+  const std::size_t begin = offsets_[node];
+  const std::size_t old_size = offsets_[node + 1] - begin;
+  const std::size_t new_size = neighbors.size();
+  const auto row_begin =
+      targets_.begin() + static_cast<std::ptrdiff_t>(begin);
+  if (new_size > old_size) {
+    targets_.insert(row_begin + static_cast<std::ptrdiff_t>(old_size),
+                    new_size - old_size, 0);
+    if (!ids_.empty()) {
+      target_ids_.insert(target_ids_.begin() +
+                             static_cast<std::ptrdiff_t>(begin + old_size),
+                         new_size - old_size, 0);
+    }
+  } else if (new_size < old_size) {
+    targets_.erase(row_begin + static_cast<std::ptrdiff_t>(new_size),
+                   row_begin + static_cast<std::ptrdiff_t>(old_size));
+    if (!ids_.empty()) {
+      target_ids_.erase(
+          target_ids_.begin() + static_cast<std::ptrdiff_t>(begin + new_size),
+          target_ids_.begin() + static_cast<std::ptrdiff_t>(begin + old_size));
+    }
+  }
+  for (std::size_t k = 0; k < new_size; ++k) {
+    targets_[begin + k] = neighbors[k];
+    if (!ids_.empty()) target_ids_[begin + k] = ids_[neighbors[k]];
+  }
+  if (new_size != old_size) {
+    const std::ptrdiff_t delta = static_cast<std::ptrdiff_t>(new_size) -
+                                 static_cast<std::ptrdiff_t>(old_size);
+    for (std::size_t m = node + 1; m <= node_count_; ++m) {
+      offsets_[m] = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(offsets_[m]) + delta);
+    }
+  }
+}
+
+bool operator==(const LinkTable& a, const LinkTable& b) {
+  return a.finalized_ && b.finalized_ && a.node_count_ == b.node_count_ &&
+         a.offsets_ == b.offsets_ && a.targets_ == b.targets_ &&
+         a.target_ids_ == b.target_ids_;
 }
 
 }  // namespace canon

@@ -2,50 +2,127 @@
 //
 // The paper counts only out-degree ("the degree of a node refers to its
 // out-degree, and does not count incoming edges"); LinkTable mirrors that.
+//
+// Lifecycle and CSR invariants
+// ----------------------------
+// A table has two phases. In the *build* phase, add() appends to per-node
+// rows; rows are independent, so shard-parallel builders may call add()
+// concurrently as long as no two threads add links for the same `from`
+// node. finalize() ends the build phase by sorting and deduplicating each
+// row and compacting the whole table into a flat CSR (compressed sparse
+// row) layout:
+//
+//   offsets_  : node_count() + 1 monotone offsets into the flat arrays;
+//               node m's neighbors occupy [offsets_[m], offsets_[m + 1]).
+//   targets_  : all neighbor *indices*, row by row, each row sorted
+//               ascending with no duplicates and no self-links.
+//   target_ids_: when finalize(ids) was given the node-ID array, the
+//               NodeId of targets_[k] stored at the same position k, so
+//               routers read one contiguous array instead of chasing
+//               net.id(nb) per candidate. Empty when no ids were given.
+//
+// After finalize() the table is a read-only routing structure: add()
+// throws std::logic_error, and the query methods (neighbors(), has_link(),
+// degree(), ...) throw std::logic_error *before* finalize(). The one
+// sanctioned post-finalize mutation is set_neighbors(), the dynamic-
+// maintenance edit path, which splices the CSR arrays in place (O(degree)
+// when the row size is unchanged, O(total_links) otherwise) and keeps
+// every invariant above, including target_ids_ alignment.
 #ifndef CANON_OVERLAY_LINK_TABLE_H
 #define CANON_OVERLAY_LINK_TABLE_H
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/stats.h"
 
 namespace canon {
 
-/// Mutable while links are being added; `finalize()` sorts and deduplicates
-/// each neighbor list, after which the table is read-only.
+/// Mutable while links are being added; `finalize()` compacts the table
+/// into a flat CSR layout, after which it is read-only (except for the
+/// set_neighbors() maintenance edit path). See the file comment.
 class LinkTable {
  public:
   explicit LinkTable(std::size_t node_count);
 
-  std::size_t node_count() const { return out_.size(); }
+  std::size_t node_count() const { return node_count_; }
 
   /// Records a directed link. Self-links are ignored. Duplicate links are
-  /// tolerated and collapsed by finalize().
+  /// tolerated and collapsed by finalize(). Throws std::logic_error once
+  /// the table is finalized. Thread-safe across *distinct* `from` nodes
+  /// during a sharded build; never for the same `from` concurrently.
   void add(std::uint32_t from, std::uint32_t to);
 
-  /// Sorts and deduplicates every neighbor list. Idempotent.
-  void finalize();
+  /// Ends the build phase: sorts and deduplicates every row and compacts
+  /// the table into the flat CSR layout. When `ids` is non-empty it must
+  /// map node index -> NodeId (size node_count()); neighbor NodeIds are
+  /// then stored inline alongside the indices for cache-friendly routing.
+  /// Idempotent on an already-finalized table (a no-op).
+  void finalize(std::span<const NodeId> ids = {});
 
   bool finalized() const { return finalized_; }
 
-  /// Neighbors of `node` (requires finalize()).
-  std::span<const std::uint32_t> neighbors(std::uint32_t node) const;
+  /// True when finalize(ids) captured inline neighbor NodeIds.
+  bool has_inline_ids() const { return !ids_.empty(); }
+
+  /// Neighbors of `node`, sorted ascending (requires finalize()).
+  /// Defined inline: this is every router's per-hop access.
+  std::span<const std::uint32_t> neighbors(std::uint32_t node) const {
+    if (!finalized_) {
+      throw std::logic_error(
+          "LinkTable::neighbors: finalize() has not been called");
+    }
+    return {targets_.data() + offsets_[node],
+            offsets_[node + 1] - offsets_[node]};
+  }
+
+  /// NodeIds of `node`'s neighbors, aligned with neighbors() (requires
+  /// finalize(ids); throws std::logic_error if ids were not captured).
+  std::span<const NodeId> neighbor_ids(std::uint32_t node) const {
+    if (!finalized_ || ids_.empty()) {
+      throw_neighbor_ids_unavailable();
+    }
+    return {target_ids_.data() + offsets_[node],
+            offsets_[node + 1] - offsets_[node]};
+  }
 
   /// True if the directed link from->to exists (requires finalize()).
   bool has_link(std::uint32_t from, std::uint32_t to) const;
 
-  std::size_t degree(std::uint32_t node) const;
+  std::size_t degree(std::uint32_t node) const {
+    if (!finalized_) {
+      throw std::logic_error(
+          "LinkTable::degree: finalize() has not been called");
+    }
+    return offsets_[node + 1] - offsets_[node];
+  }
   std::size_t total_links() const;
   double mean_degree() const;
   Histogram degree_histogram() const;
 
   /// Replaces node `node`'s neighbor list (used by dynamic maintenance).
+  /// The list is sorted, deduplicated, and stripped of self-links; on a
+  /// finalized table the CSR arrays (and inline ids, if captured) are
+  /// spliced in place.
   void set_neighbors(std::uint32_t node, std::vector<std::uint32_t> neighbors);
 
+  /// Structural equality of two finalized tables: same CSR offsets,
+  /// targets, and inline ids. The determinism regression tests rely on
+  /// this being exact (byte-identical layouts compare equal).
+  friend bool operator==(const LinkTable& a, const LinkTable& b);
+
  private:
-  std::vector<std::vector<std::uint32_t>> out_;
+  [[noreturn]] void throw_neighbor_ids_unavailable() const;
+
+  std::size_t node_count_ = 0;
+  std::vector<std::vector<std::uint32_t>> rows_;  // build phase only
+  std::vector<std::size_t> offsets_;              // CSR, node_count_ + 1
+  std::vector<std::uint32_t> targets_;            // CSR, flat indices
+  std::vector<NodeId> target_ids_;                // CSR, flat NodeIds
+  std::vector<NodeId> ids_;       // node index -> NodeId (if captured)
   bool finalized_ = false;
 };
 

@@ -6,10 +6,35 @@ namespace canon {
 
 namespace {
 
+constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+
 int hop_guard(const OverlayNetwork& net) {
   // Generous upper bound; all routes in a correct structure finish in
   // O(log n) << 4N hops. Exceeding this indicates a broken link table.
   return 4 * net.space().bits() + 16;
+}
+
+/// Shared epilogue for every route() exit (success, stuck, hop guard):
+/// stamps the outcome, bumps the route/hop/failure counters, and closes
+/// the trace.
+void finish_route(Route& r, bool ok, telemetry::Counter* routes,
+                  telemetry::Counter* hops, telemetry::Counter* failures,
+                  telemetry::RouteTraceSink* sink, std::uint64_t trace_id,
+                  std::uint32_t terminal) {
+  r.ok = ok;
+  if (routes) {
+    routes->inc();
+    hops->inc(static_cast<std::uint64_t>(r.hops()));
+    if (!ok) failures->inc();
+  }
+  if (sink) sink->end_lookup(trace_id, ok, terminal);
+}
+
+/// NodeIds of `links`' neighbors of `node`, read from the CSR inline-id
+/// array when the table captured it, else nullptr (caller falls back to
+/// per-candidate net lookups — tables finalized without ids).
+const NodeId* inline_ids_or_null(const LinkTable& links, std::uint32_t node) {
+  return links.has_inline_ids() ? links.neighbor_ids(node).data() : nullptr;
 }
 
 }  // namespace
@@ -38,26 +63,26 @@ Route RingRouter::route(std::uint32_t from, NodeId key) const {
   for (int step = 0; step < max_hops_; ++step) {
     const std::uint64_t remaining = space.ring_distance(net_->id(current), key);
     // Choose the neighbor that covers the most clockwise distance without
-    // overshooting the key.
-    std::uint32_t best = current;
+    // overshooting the key. The scan reads only the contiguous NodeId
+    // array; the winner's index is fetched once afterwards.
+    std::size_t best_j = kNoCandidate;
     std::uint64_t best_covered = 0;
+    const NodeId cur_id = net_->id(current);
     const auto neighbors = links_->neighbors(current);
-    for (const std::uint32_t nb : neighbors) {
-      const std::uint64_t covered =
-          space.ring_distance(net_->id(current), net_->id(nb));
+    const NodeId* nb_ids = inline_ids_or_null(*links_, current);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const NodeId nb_id = nb_ids ? nb_ids[j] : net_->id(neighbors[j]);
+      const std::uint64_t covered = space.ring_distance(cur_id, nb_id);
       if (covered <= remaining && covered > best_covered) {
         best_covered = covered;
-        best = nb;
+        best_j = j;
       }
     }
+    const std::uint32_t best =
+        best_j == kNoCandidate ? current : neighbors[best_j];
     if (best == current) {
-      r.ok = (current == net_->responsible(key));
-      if (routes_counter_) {
-        routes_counter_->inc();
-        hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
-        if (!r.ok) failures_counter_->inc();
-      }
-      if (sink_) sink_->end_lookup(trace_id, r.ok, current);
+      finish_route(r, current == net_->responsible(key), routes_counter_,
+                   hops_counter_, failures_counter_, sink_, trace_id, current);
       return r;
     }
     if (sink_) {
@@ -73,13 +98,9 @@ Route RingRouter::route(std::uint32_t from, NodeId key) const {
     current = best;
     r.path.push_back(current);
   }
-  r.ok = false;  // hop guard exceeded: structurally broken table
-  if (routes_counter_) {
-    routes_counter_->inc();
-    hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
-    failures_counter_->inc();
-  }
-  if (sink_) sink_->end_lookup(trace_id, false, current);
+  // Hop guard exceeded: structurally broken table.
+  finish_route(r, false, routes_counter_, hops_counter_, failures_counter_,
+               sink_, trace_id, current);
   return r;
 }
 
@@ -98,9 +119,11 @@ Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
     std::uint32_t best_w = current;  // == best_v for 1-step plans
     std::uint64_t best_final = remaining;
     const auto neighbors = links_->neighbors(current);
-    for (const std::uint32_t v : neighbors) {
-      const std::uint64_t covered1 =
-          space.ring_distance(cur_id, net_->id(v));
+    const NodeId* nb_ids = inline_ids_or_null(*links_, current);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const std::uint32_t v = neighbors[j];
+      const NodeId v_id = nb_ids ? nb_ids[j] : net_->id(v);
+      const std::uint64_t covered1 = space.ring_distance(cur_id, v_id);
       if (covered1 == 0 || covered1 > remaining) continue;
       const std::uint64_t after1 = remaining - covered1;
       if (after1 < best_final) {
@@ -108,26 +131,23 @@ Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
         best_v = v;
         best_w = v;
       }
-      for (const std::uint32_t w : links_->neighbors(v)) {
-        const std::uint64_t covered2 =
-            space.ring_distance(net_->id(v), net_->id(w));
+      const auto second = links_->neighbors(v);
+      const NodeId* second_ids = inline_ids_or_null(*links_, v);
+      for (std::size_t k = 0; k < second.size(); ++k) {
+        const NodeId w_id = second_ids ? second_ids[k] : net_->id(second[k]);
+        const std::uint64_t covered2 = space.ring_distance(v_id, w_id);
         if (covered2 == 0 || covered2 > after1) continue;
         const std::uint64_t after2 = after1 - covered2;
         if (after2 < best_final) {
           best_final = after2;
           best_v = v;
-          best_w = w;
+          best_w = second[k];
         }
       }
     }
     if (best_v == current) {
-      r.ok = (current == net_->responsible(key));
-      if (routes_counter_) {
-        routes_counter_->inc();
-        hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
-        if (!r.ok) failures_counter_->inc();
-      }
-      if (sink_) sink_->end_lookup(trace_id, r.ok, current);
+      finish_route(r, current == net_->responsible(key), routes_counter_,
+                   hops_counter_, failures_counter_, sink_, trace_id, current);
       return r;
     }
     if (sink_) {
@@ -155,13 +175,8 @@ Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
     if (best_w != best_v) r.path.push_back(best_w);
     current = best_w;
   }
-  r.ok = false;
-  if (routes_counter_) {
-    routes_counter_->inc();
-    hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
-    failures_counter_->inc();
-  }
-  if (sink_) sink_->end_lookup(trace_id, false, current);
+  finish_route(r, false, routes_counter_, hops_counter_, failures_counter_,
+               sink_, trace_id, current);
   return r;
 }
 
@@ -188,24 +203,23 @@ Route XorRouter::route(std::uint32_t from, NodeId key) const {
   const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
   for (int step = 0; step < max_hops_; ++step) {
     const std::uint64_t remaining = space.xor_distance(net_->id(current), key);
-    std::uint32_t best = current;
+    std::size_t best_j = kNoCandidate;
     std::uint64_t best_remaining = remaining;
     const auto neighbors = links_->neighbors(current);
-    for (const std::uint32_t nb : neighbors) {
-      const std::uint64_t d = space.xor_distance(net_->id(nb), key);
+    const NodeId* nb_ids = inline_ids_or_null(*links_, current);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const NodeId nb_id = nb_ids ? nb_ids[j] : net_->id(neighbors[j]);
+      const std::uint64_t d = space.xor_distance(nb_id, key);
       if (d < best_remaining) {
         best_remaining = d;
-        best = nb;
+        best_j = j;
       }
     }
+    const std::uint32_t best =
+        best_j == kNoCandidate ? current : neighbors[best_j];
     if (best == current) {
-      r.ok = (current == net_->xor_closest(key));
-      if (routes_counter_) {
-        routes_counter_->inc();
-        hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
-        if (!r.ok) failures_counter_->inc();
-      }
-      if (sink_) sink_->end_lookup(trace_id, r.ok, current);
+      finish_route(r, current == net_->xor_closest(key), routes_counter_,
+                   hops_counter_, failures_counter_, sink_, trace_id, current);
       return r;
     }
     if (sink_) {
@@ -221,13 +235,8 @@ Route XorRouter::route(std::uint32_t from, NodeId key) const {
     current = best;
     r.path.push_back(current);
   }
-  r.ok = false;
-  if (routes_counter_) {
-    routes_counter_->inc();
-    hops_counter_->inc(static_cast<std::uint64_t>(r.hops()));
-    failures_counter_->inc();
-  }
-  if (sink_) sink_->end_lookup(trace_id, false, current);
+  finish_route(r, false, routes_counter_, hops_counter_, failures_counter_,
+               sink_, trace_id, current);
   return r;
 }
 

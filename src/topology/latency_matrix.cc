@@ -4,41 +4,60 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/parallel.h"
+#include "telemetry/scoped_timer.h"
+
 namespace canon {
+
+namespace {
+
+/// Routers per shard: one Dijkstra over a ~2000-router graph costs far
+/// more than a shard claim, so small shards give the best load balance.
+constexpr std::size_t kSourceGrain = 8;
+
+}  // namespace
 
 LatencyMatrix::LatencyMatrix(const TransitStubTopology& topo)
     : n_(topo.router_count()) {
+  telemetry::ScopedTimer timer("build.latency_matrix_ms");
   ms_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
              std::numeric_limits<float>::infinity());
-  std::vector<double> dist(static_cast<std::size_t>(n_));
-  using Item = std::pair<double, int>;  // (distance, router)
-  for (int src = 0; src < n_; ++src) {
-    std::fill(dist.begin(), dist.end(),
-              std::numeric_limits<double>::infinity());
-    dist[static_cast<std::size_t>(src)] = 0;
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-    queue.emplace(0.0, src);
-    while (!queue.empty()) {
-      const auto [d, u] = queue.top();
-      queue.pop();
-      if (d > dist[static_cast<std::size_t>(u)]) continue;
-      for (const auto& e : topo.edges(u)) {
-        const double nd = d + e.ms;
-        if (nd < dist[static_cast<std::size_t>(e.to)]) {
-          dist[static_cast<std::size_t>(e.to)] = nd;
-          queue.emplace(nd, e.to);
+  // One Dijkstra per source router; each shard owns its sources' rows of
+  // ms_, so the sharded runs write disjoint ranges and need no locks.
+  parallel_for(
+      static_cast<std::size_t>(n_), kSourceGrain,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> dist(static_cast<std::size_t>(n_));
+        using Item = std::pair<double, int>;  // (distance, router)
+        for (std::size_t s = begin; s < end; ++s) {
+          const int src = static_cast<int>(s);
+          std::fill(dist.begin(), dist.end(),
+                    std::numeric_limits<double>::infinity());
+          dist[s] = 0;
+          std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+          queue.emplace(0.0, src);
+          while (!queue.empty()) {
+            const auto [d, u] = queue.top();
+            queue.pop();
+            if (d > dist[static_cast<std::size_t>(u)]) continue;
+            for (const auto& e : topo.edges(u)) {
+              const double nd = d + e.ms;
+              if (nd < dist[static_cast<std::size_t>(e.to)]) {
+                dist[static_cast<std::size_t>(e.to)] = nd;
+                queue.emplace(nd, e.to);
+              }
+            }
+          }
+          for (int v = 0; v < n_; ++v) {
+            const double d = dist[static_cast<std::size_t>(v)];
+            if (!(d < std::numeric_limits<double>::infinity())) {
+              throw std::logic_error("LatencyMatrix: topology is disconnected");
+            }
+            ms_[s * static_cast<std::size_t>(n_) + static_cast<std::size_t>(v)] =
+                static_cast<float>(d);
+          }
         }
-      }
-    }
-    for (int v = 0; v < n_; ++v) {
-      const double d = dist[static_cast<std::size_t>(v)];
-      if (!(d < std::numeric_limits<double>::infinity())) {
-        throw std::logic_error("LatencyMatrix: topology is disconnected");
-      }
-      ms_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
-          static_cast<std::size_t>(v)] = static_cast<float>(d);
-    }
-  }
+      });
 }
 
 }  // namespace canon

@@ -1,6 +1,9 @@
 // All-pairs shortest-path latencies over a router graph, computed with one
 // Dijkstra run per router (the graphs here have ~2000 routers, so the full
-// matrix fits comfortably in memory and builds in well under a second).
+// matrix fits comfortably in memory). The per-source runs are independent
+// and execute on the shared worker pool (common/parallel.h); each source
+// writes only its own matrix row, and the result is identical at every
+// thread count. Construction time is recorded under build.latency_matrix_ms.
 #ifndef CANON_TOPOLOGY_LATENCY_MATRIX_H
 #define CANON_TOPOLOGY_LATENCY_MATRIX_H
 

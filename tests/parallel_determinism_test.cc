@@ -1,0 +1,314 @@
+// Serial/parallel equivalence of the whole construction pipeline.
+//
+// The contract (common/parallel.h, docs/PERFORMANCE.md): shard boundaries
+// depend only on (n, grain), randomized builders draw from per-node
+// Rng::fork streams, and every shard writes only its own rows — so a build
+// at --threads=1 (the exact pre-parallel serial code path) and a build at
+// any other thread count are byte-identical. These tests pin that promise
+// for every link-builder family across 3 seeds x 2 hierarchy shapes, for
+// the LatencyMatrix, and for parallel_for itself (coverage, empty ranges,
+// grain > n, exception propagation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "canon/cacophony.h"
+#include "canon/cancan.h"
+#include "canon/crescendo.h"
+#include "canon/kandy.h"
+#include "canon/mixed.h"
+#include "canon/nondet_crescendo.h"
+#include "canon/proximity.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "dht/can.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "dht/nondet_chord.h"
+#include "dht/symphony.h"
+#include "overlay/link_table.h"
+#include "overlay/population.h"
+#include "topology/latency_matrix.h"
+#include "topology/transit_stub.h"
+
+namespace canon {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 1234};
+constexpr int kParallelThreads = 4;
+
+/// Restores the default thread count even if an assertion bails out early.
+struct ThreadGuard {
+  ~ThreadGuard() { set_parallel_threads(0); }
+};
+
+struct Shape {
+  const char* name;
+  int levels;
+  int fanout;
+};
+
+constexpr Shape kShapes[] = {
+    {"flat", 1, 10},
+    {"deep", 4, 10},
+};
+
+OverlayNetwork make_net(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  PopulationSpec spec;
+  spec.node_count = 512;
+  spec.hierarchy.levels = shape.levels;
+  spec.hierarchy.fanout = shape.fanout;
+  return make_population(spec, rng);
+}
+
+/// One named builder; receives the network and the run seed so randomized
+/// families can construct an identical base Rng for each invocation.
+struct Family {
+  const char* name;
+  std::function<LinkTable(const OverlayNetwork&, std::uint64_t)> build;
+};
+
+const std::vector<Family>& families() {
+  static const std::vector<Family> fams = {
+      {"chord",
+       [](const OverlayNetwork& net, std::uint64_t) {
+         return build_chord(net);
+       }},
+      {"crescendo",
+       [](const OverlayNetwork& net, std::uint64_t) {
+         return build_crescendo(net);
+       }},
+      {"clique_crescendo",
+       [](const OverlayNetwork& net, std::uint64_t) {
+         return build_clique_crescendo(net);
+       }},
+      {"can",
+       [](const OverlayNetwork& net, std::uint64_t) {
+         return build_can(net).links;
+       }},
+      {"cancan",
+       [](const OverlayNetwork& net, std::uint64_t) {
+         return CanCanNetwork(net).links();
+       }},
+      {"symphony",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_symphony(net, rng);
+       }},
+      {"nondet_chord",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_nondet_chord(net, rng);
+       }},
+      {"kademlia_closest",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_kademlia(net, BucketChoice::kClosest, rng);
+       }},
+      {"kademlia_random_r2",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_kademlia(net, BucketChoice::kRandom, rng, 2);
+       }},
+      {"cacophony",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_cacophony(net, rng);
+       }},
+      {"kandy_closest",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_kandy(net, BucketChoice::kClosest, rng);
+       }},
+      {"kandy_random",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_kandy(net, BucketChoice::kRandom, rng);
+       }},
+      {"nondet_crescendo",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         Rng rng(seed * 2 + 1);
+         return build_nondet_crescendo(net, rng);
+       }},
+      {"chord_prox",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         const GroupedOverlay groups(net, 16);
+         // Synthetic but deterministic pairwise cost: the builders only
+         // need *some* latency oracle, identical across the two runs.
+         const HopCost cost = [](std::uint32_t a, std::uint32_t b) {
+           return static_cast<double>((a * 31u + b * 17u) % 97u + 1u);
+         };
+         Rng rng(seed * 2 + 1);
+         return build_chord_prox(net, groups, cost, ProximityConfig{}, rng);
+       }},
+      {"crescendo_prox",
+       [](const OverlayNetwork& net, std::uint64_t seed) {
+         const GroupedOverlay groups(net, 16);
+         const HopCost cost = [](std::uint32_t a, std::uint32_t b) {
+           return static_cast<double>((a * 31u + b * 17u) % 97u + 1u);
+         };
+         Rng rng(seed * 2 + 1);
+         return build_crescendo_prox(net, groups, cost, ProximityConfig{},
+                                     rng);
+       }},
+  };
+  return fams;
+}
+
+TEST(ParallelDeterminism, EveryFamilySerialEqualsParallel) {
+  ThreadGuard guard;
+  for (const Shape& shape : kShapes) {
+    for (const std::uint64_t seed : kSeeds) {
+      const OverlayNetwork net = make_net(shape, seed);
+      for (const Family& fam : families()) {
+        set_parallel_threads(1);
+        const LinkTable serial = fam.build(net, seed);
+        set_parallel_threads(kParallelThreads);
+        const LinkTable parallel = fam.build(net, seed);
+        EXPECT_TRUE(serial == parallel)
+            << fam.name << " diverges at shape=" << shape.name
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelBuildsAreIdentical) {
+  // Same thread count twice: shard scheduling order must not leak into
+  // the result either.
+  ThreadGuard guard;
+  const OverlayNetwork net = make_net(kShapes[1], 42);
+  set_parallel_threads(kParallelThreads);
+  for (const Family& fam : families()) {
+    const LinkTable a = fam.build(net, 42);
+    const LinkTable b = fam.build(net, 42);
+    EXPECT_TRUE(a == b) << fam.name << " is not stable across runs";
+  }
+}
+
+TEST(ParallelDeterminism, LatencyMatrixSerialEqualsParallel) {
+  ThreadGuard guard;
+  TransitStubConfig cfg;
+  cfg.transit_domains = 4;
+  cfg.transit_per_domain = 2;
+  cfg.stub_domains_per_transit = 2;
+  cfg.stubs_per_domain = 5;
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    const TransitStubTopology topo(cfg, rng);
+    set_parallel_threads(1);
+    const LatencyMatrix serial(topo);
+    set_parallel_threads(kParallelThreads);
+    const LatencyMatrix parallel(topo);
+    ASSERT_EQ(serial.router_count(), parallel.router_count());
+    for (int a = 0; a < serial.router_count(); ++a) {
+      for (int b = 0; b < serial.router_count(); ++b) {
+        ASSERT_EQ(serial.latency(a, b), parallel.latency(a, b))
+            << "row " << a << " col " << b << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  set_parallel_threads(kParallelThreads);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokesBody) {
+  ThreadGuard guard;
+  for (const int threads : {1, kParallelThreads}) {
+    set_parallel_threads(threads);
+    bool called = false;
+    parallel_for(0, 64, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInlineOnce) {
+  ThreadGuard guard;
+  set_parallel_threads(kParallelThreads);
+  int calls = 0;
+  std::size_t begin = 99, end = 0;
+  parallel_for(10, 64, [&](std::size_t b, std::size_t e) {
+    ++calls;
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 10u);
+}
+
+TEST(ParallelFor, ZeroGrainIsTreatedAsOne) {
+  ThreadGuard guard;
+  set_parallel_threads(kParallelThreads);
+  std::vector<std::atomic<int>> hits(32);
+  parallel_for(32, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < 32; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  ThreadGuard guard;
+  for (const int threads : {1, kParallelThreads}) {
+    set_parallel_threads(threads);
+    EXPECT_THROW(
+        parallel_for(1000, 8,
+                     [&](std::size_t begin, std::size_t end) {
+                       // Fire from whichever shard covers index 500 (the
+                       // single inline call at threads=1 covers it too).
+                       if (begin <= 500 && 500 < end) {
+                         throw std::runtime_error("shard failure");
+                       }
+                     }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelFor, PoolIsReusableAfterAnException) {
+  ThreadGuard guard;
+  set_parallel_threads(kParallelThreads);
+  EXPECT_THROW(parallel_for(256, 4,
+                            [](std::size_t, std::size_t) {
+                              throw std::logic_error("boom");
+                            }),
+               std::logic_error);
+  std::atomic<int> total{0};
+  parallel_for(256, 4, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin),
+                    std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 256);
+}
+
+TEST(ParallelFor, ThreadCountSettingRoundTrips) {
+  ThreadGuard guard;
+  set_parallel_threads(3);
+  EXPECT_EQ(parallel_threads(), 3);
+  set_parallel_threads(0);
+  EXPECT_GE(parallel_threads(), 1);  // hardware_concurrency, at least 1
+}
+
+}  // namespace
+}  // namespace canon
