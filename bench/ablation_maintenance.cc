@@ -1,9 +1,12 @@
 // Ablation A7 (Section 2.3): dynamic maintenance cost. Messages per join
 // (per-level lookups + link updates at existing nodes) should grow as
-// O(log n), matching plain Chord.
+// O(log n), matching plain Chord. The grown structure is audited at the
+// end — a maintenance bug would bias every cost number, so the report
+// carries the audit verdict alongside the series.
 #include <cmath>
 #include <iostream>
 
+#include "audit/auditor.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "hierarchy/generators.h"
@@ -56,6 +59,14 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: messages track a small multiple of log2(n), as "
                "in plain Chord)\n";
+
+  // Structural audit of the incrementally grown network.
+  const LinkTable links = dyn.link_table();
+  const audit::AuditReport audit_report =
+      audit::StructureAuditor(dyn.network(), links).audit("crescendo");
+  std::cout << "structural audit: " << audit_report.summary() << "\n";
   run.report().set_series(bench::table_to_json(table));
-  return run.finish();
+  run.report().set_param("audit", audit_report.to_json());
+  const int rc = run.finish();
+  return rc != 0 ? rc : (audit_report.ok() ? 0 : 1);
 }

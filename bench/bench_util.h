@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/flags.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "telemetry/json_writer.h"
@@ -38,49 +38,6 @@
 #include "telemetry/report.h"
 
 namespace canon::bench {
-
-/// Returns the value of "--name=value" from argv, or nullptr if absent.
-/// A bare "--name" yields the empty string.
-inline const char* flag_raw(int argc, char** argv, const char* name) {
-  const std::string flag = std::string("--") + name;
-  const std::string prefix = flag + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return argv[i] + prefix.size();
-    }
-    if (flag == argv[i]) return "";
-  }
-  return nullptr;
-}
-
-/// Parses "--name=value" from argv; returns `fallback` if absent.
-inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
-                              std::uint64_t fallback) {
-  const char* v = flag_raw(argc, argv, name);
-  return (v && *v) ? std::strtoull(v, nullptr, 10) : fallback;
-}
-
-inline double flag_double(int argc, char** argv, const char* name,
-                          double fallback) {
-  const char* v = flag_raw(argc, argv, name);
-  return (v && *v) ? std::strtod(v, nullptr) : fallback;
-}
-
-inline std::string flag_str(int argc, char** argv, const char* name,
-                            const char* fallback) {
-  const char* v = flag_raw(argc, argv, name);
-  return v ? std::string(v) : std::string(fallback);
-}
-
-/// "--name" and "--name=true/1/yes/on" are true; "--name=false/0/no/off"
-/// is false; absent is `fallback`.
-inline bool flag_bool(int argc, char** argv, const char* name, bool fallback) {
-  const char* v = flag_raw(argc, argv, name);
-  if (!v) return fallback;
-  if (!*v) return true;
-  const std::string s(v);
-  return !(s == "false" || s == "0" || s == "no" || s == "off");
-}
 
 inline void header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n", title);

@@ -1,10 +1,21 @@
 #!/usr/bin/env python3
-"""End-to-end check for the bench --json report schema.
+"""End-to-end check for the machine-readable output schemas.
 
-Runs a bench binary (argv[1]) with small parameters and --json, then
-asserts the stable top-level schema {bench, seed, params, metrics, series}
-and — for fig5_hops — that every series row's per-hierarchy-level hop
-breakdown sums to its total hop count (the paper's convergence accounting).
+Two modes:
+
+  check_json_schema.py <bench_binary>
+    Runs a bench binary with small parameters and --json, then asserts the
+    stable top-level schema {bench, seed, params, metrics, series} and —
+    for fig5_hops — that every series row's per-hierarchy-level hop
+    breakdown sums to its total hop count (the paper's convergence
+    accounting).
+
+  check_json_schema.py --doctor <canon_doctor_binary>
+    Runs canon_doctor in static (--all) and churn (--journal-out) modes
+    and asserts (a) the doctor's --json report carries a schema-valid
+    audit object per family, (b) the churn journal is schema-valid JSONL
+    with contiguous sequence numbers and a clean final audit_snapshot,
+    and (c) replaying the journal reproduces the healthy verdict.
 """
 import json
 import os
@@ -12,9 +23,55 @@ import subprocess
 import sys
 import tempfile
 
+JOURNAL_TYPES = {"join", "leave", "repair", "lookup_failure",
+                 "audit_snapshot"}
+JOURNAL_REQUIRED = {
+    "join": {"id", "path", "lookup_hops", "size"},
+    "leave": {"id", "size"},
+    "repair": {"cause", "pivot", "nodes_updated"},
+    "lookup_failure": {"from", "key", "hops"},
+    "audit_snapshot": {"size", "checks", "violations"},
+}
 
-def main():
-    binary = sys.argv[1]
+
+def check_report_envelope(doc):
+    for key in ("bench", "seed", "params", "metrics", "series"):
+        assert key in doc, f"missing top-level key {key!r}"
+    assert isinstance(doc["params"], dict)
+    assert isinstance(doc["series"], list) and doc["series"], "empty series"
+    for section in ("counters", "gauges", "histograms"):
+        assert section in doc["metrics"], f"missing metrics.{section}"
+
+
+def check_audit_object(audit):
+    for key in ("ok", "checks", "violation_count", "violations"):
+        assert key in audit, f"audit object missing {key!r}"
+    assert isinstance(audit["checks"], dict) and audit["checks"]
+    assert audit["violation_count"] == len(audit["violations"])
+    for v in audit["violations"]:
+        for key in ("check", "node", "level", "detail"):
+            assert key in v, f"violation missing {key!r}"
+
+
+def check_journal(path):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln]
+    assert lines, "empty journal"
+    last_snapshot = None
+    for i, line in enumerate(lines):
+        ev = json.loads(line)
+        assert ev["seq"] == i, f"line {i + 1}: seq {ev['seq']} != {i}"
+        assert ev["type"] in JOURNAL_TYPES, f"unknown type {ev['type']!r}"
+        missing = JOURNAL_REQUIRED[ev["type"]] - set(ev)
+        assert not missing, f"{ev['type']} event missing {missing}"
+        if ev["type"] == "audit_snapshot":
+            last_snapshot = ev
+    assert last_snapshot is not None, "journal has no audit_snapshot"
+    assert last_snapshot["violations"] == 0, (
+        f"final snapshot reports {last_snapshot['violations']} violations")
+
+
+def check_bench(binary):
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "report.json")
         subprocess.run(
@@ -24,13 +81,7 @@ def main():
         with open(out) as f:
             doc = json.load(f)
 
-    for key in ("bench", "seed", "params", "metrics", "series"):
-        assert key in doc, f"missing top-level key {key!r}"
-    assert isinstance(doc["params"], dict)
-    assert isinstance(doc["series"], list) and doc["series"], "empty series"
-    for section in ("counters", "gauges", "histograms"):
-        assert section in doc["metrics"], f"missing metrics.{section}"
-
+    check_report_envelope(doc)
     if doc["bench"] == "fig5_hops":
         for row in doc["series"]:
             total = row["total_hops"]
@@ -43,6 +94,46 @@ def main():
         assert counters["ring_router.routes"] > 0
         assert counters["ring_router.hops"] == sum(
             r["total_hops"] for r in doc["series"])
+
+
+def check_doctor(binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        report = os.path.join(tmp, "doctor.json")
+        subprocess.run(
+            [binary, "--all", "--nodes=256", "--levels=3",
+             f"--json={report}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(report) as f:
+            doc = json.load(f)
+        check_report_envelope(doc)
+        assert doc["bench"] == "canon_doctor"
+        families = set()
+        for row in doc["series"]:
+            assert "family" in row and "audit" in row
+            check_audit_object(row["audit"])
+            assert row["audit"]["ok"] is True, (
+                f"family {row['family']} audited unhealthy")
+            families.add(row["family"])
+        assert len(families) == 13, f"expected 13 families, got {families}"
+        counters = doc["metrics"]["counters"]
+        assert counters["audit.checks"] > 0
+        assert counters.get("audit.violations", 0) == 0
+
+        journal = os.path.join(tmp, "churn.jsonl")
+        subprocess.run(
+            [binary, "--nodes=128", "--churn=60", "--snapshot-every=20",
+             f"--journal-out={journal}"],
+            check=True, stdout=subprocess.DEVNULL)
+        check_journal(journal)
+        subprocess.run([binary, f"--replay={journal}"],
+                       check=True, stdout=subprocess.DEVNULL)
+
+
+def main():
+    if sys.argv[1] == "--doctor":
+        check_doctor(sys.argv[2])
+    else:
+        check_bench(sys.argv[1])
     print("ok")
 
 

@@ -1,0 +1,63 @@
+// Command-line flag parsing shared by every binary that is not allowed a
+// real flags library: the fig*/ablation_* experiments (bench_util.h), the
+// google-benchmark micros (micro_util.h) and the canon_doctor tool.
+//
+// Flags are "--name=value" (a bare "--name" is the empty string, which
+// flag_bool treats as true). Unknown flags are ignored by these helpers;
+// binaries that want strictness can enumerate argv themselves.
+#ifndef CANON_BENCH_FLAGS_H
+#define CANON_BENCH_FLAGS_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace canon::bench {
+
+/// Returns the value of "--name=value" from argv, or nullptr if absent.
+/// A bare "--name" yields the empty string.
+inline const char* flag_raw(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+    if (flag == argv[i]) return "";
+  }
+  return nullptr;
+}
+
+/// Parses "--name=value" from argv; returns `fallback` if absent.
+inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  return (v && *v) ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  return (v && *v) ? std::strtod(v, nullptr) : fallback;
+}
+
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  return v ? std::string(v) : std::string(fallback);
+}
+
+/// "--name" and "--name=true/1/yes/on" are true; "--name=false/0/no/off"
+/// is false; absent is `fallback`.
+inline bool flag_bool(int argc, char** argv, const char* name, bool fallback) {
+  const char* v = flag_raw(argc, argv, name);
+  if (!v) return fallback;
+  if (!*v) return true;
+  const std::string s(v);
+  return !(s == "false" || s == "0" || s == "no" || s == "off");
+}
+
+}  // namespace canon::bench
+
+#endif  // CANON_BENCH_FLAGS_H

@@ -17,7 +17,9 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "bench/flags.h"
+#include "common/parallel.h"
+#include "telemetry/report.h"
 
 namespace canon::bench {
 

@@ -2,55 +2,113 @@
 // Joins cost O(log n) messages, routing keeps working throughout, and the
 // incrementally maintained structure stays byte-identical to a
 // from-scratch build.
+//
+// Flags: --nodes=600 --pairs=200 --seed=42 --snapshot-every=100
+//        --journal=<path> (JSONL event journal, docs/TELEMETRY.md)
+//        --json=<path>    (BenchReport with per-snapshot audit rows)
+// The run fails (exit 1) if routing degrades, the maintained links drift
+// from a from-scratch construction, or the final structural audit reports
+// any violation.
 #include <cmath>
 #include <iostream>
+#include <memory>
 
+#include "audit/auditor.h"
+#include "bench/bench_util.h"
 #include "canon/crescendo.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "hierarchy/generators.h"
 #include "maintenance/dynamic_crescendo.h"
 #include "overlay/routing.h"
+#include "telemetry/journal.h"
 #include "telemetry/metrics.h"
 
 using namespace canon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "churn");
+  const std::uint64_t target_nodes = run.u64("nodes", 600);
+  const std::uint64_t pairs = run.u64("pairs", 200);
+  const std::uint64_t snapshot_every = run.u64("snapshot-every", 100);
+  const std::string journal_path = run.str("journal", "");
+
   // Collect maintenance metrics for the whole run. The registry must be
   // installed before DynamicCrescendo is constructed so its instruments
-  // resolve against it.
-  telemetry::MetricsRegistry registry;
-  telemetry::install_registry(&registry);
-  Rng rng(77);
+  // resolve against it; BenchRun already installed one when --json was
+  // given, otherwise install a local one for the printout below.
+  telemetry::MetricsRegistry local;
+  telemetry::MetricsRegistry* prev = nullptr;
+  const bool own_registry = !run.json_enabled();
+  if (own_registry) prev = telemetry::install_registry(&local);
+  telemetry::MetricsRegistry& registry = own_registry ? local : run.metrics();
+
+  Rng rng(run.seed * 13 + 77);
   const IdSpace space(32);
   HierarchySpec hier;
   hier.levels = 3;
   hier.fanout = 5;
   DynamicCrescendo dht(space);
 
-  // Grow to 600 nodes.
+  std::unique_ptr<telemetry::EventJournal> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<telemetry::EventJournal>(journal_path);
+  }
+  dht.set_journal(journal.get());
+
+  // Structural audit of the current state; snapshots flow into the
+  // journal and the JSON report every --snapshot-every membership ops.
+  std::uint64_t ops = 0;
+  const auto audit_now = [&] {
+    const LinkTable table = dht.link_table();
+    return audit::StructureAuditor(dht.network(), table).audit("crescendo");
+  };
+  const auto snapshot = [&] {
+    const audit::AuditReport report = audit_now();
+    if (journal) {
+      journal->audit_snapshot(dht.size(), report.total_checks(),
+                              report.violations.size());
+    }
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("op", telemetry::JsonValue(ops));
+    row.set("size",
+            telemetry::JsonValue(static_cast<std::uint64_t>(dht.size())));
+    row.set("audit", report.to_json());
+    run.report().add_row(std::move(row));
+    return report;
+  };
+  const auto after_op = [&] {
+    ++ops;
+    if (snapshot_every > 0 && ops % snapshot_every == 0) snapshot();
+  };
+
+  // Grow to the target size.
   Summary join_msgs;
-  while (dht.size() < 600) {
+  while (dht.size() < target_nodes) {
     const auto ids = sample_unique_ids(1, space, rng);
     const auto paths = generate_hierarchy(1, hier, rng);
     const MaintenanceCost c = dht.join({ids[0], paths[0], -1});
     join_msgs.add(c.messages());
+    after_op();
   }
   std::cout << "grew to " << dht.size() << " nodes; mean join cost "
             << TextTable::num(join_msgs.mean(), 1) << " messages (log2(n) = "
-            << TextTable::num(std::log2(600.0), 1) << ")\n";
+            << TextTable::num(std::log2(static_cast<double>(target_nodes)), 1)
+            << ")\n";
 
-  // Churn: 200 random leaves interleaved with 200 joins.
+  // Churn: random leaves interleaved with joins.
   Summary leave_msgs;
-  for (int i = 0; i < 200; ++i) {
+  for (std::uint64_t i = 0; i < pairs; ++i) {
     const auto victim = static_cast<std::uint32_t>(
         rng.uniform(dht.network().size()));
     leave_msgs.add(dht.leave(dht.network().id(victim)).messages());
+    after_op();
     const auto ids = sample_unique_ids(1, space, rng);
     const auto paths = generate_hierarchy(1, hier, rng);
     dht.join({ids[0], paths[0], -1});
+    after_op();
   }
-  std::cout << "after 200 leave/join pairs; mean leave cost "
+  std::cout << "after " << pairs << " leave/join pairs; mean leave cost "
             << TextTable::num(leave_msgs.mean(), 1) << " messages\n";
 
   // Routing still works from everywhere.
@@ -78,6 +136,11 @@ int main() {
             << (identical ? "MATCH" : "DIFFER FROM")
             << " a from-scratch construction\n";
 
+  // Final structural audit (always journaled/reported when enabled).
+  const audit::AuditReport final_audit = snapshot();
+  if (journal) journal->flush();
+  std::cout << "structural audit: " << final_audit.summary() << "\n";
+
   // Leaf sets at each level of one node.
   const NodeId probe = dht.network().id(0);
   std::cout << "\nleaf sets of node " << id_to_hex(probe) << ":\n";
@@ -101,6 +164,8 @@ int main() {
               << TextTable::num(hist.mean_ms(), 3) << " ms, p99 "
               << TextTable::num(hist.quantile_upper_ms(0.99), 3) << " ms\n";
   }
-  telemetry::install_registry(nullptr);
-  return identical && ok == 1000 ? 0 : 1;
+  if (own_registry) telemetry::install_registry(prev);
+  const int rc = run.finish();
+  if (rc != 0) return rc;
+  return identical && ok == 1000 && final_audit.ok() ? 0 : 1;
 }

@@ -2,31 +2,71 @@
 // Drives thousands of simultaneous lookups through the discrete-event
 // simulator (per-node queueing), then kills a third of the network and
 // shows leaf-set fallback keeping lookups alive.
+//
+// Flags: --nodes=4096 --lookups=20000 --seed=42
+//        --journal=<path> (JSONL: lookup_failure events + audit snapshot)
+//        --json=<path>    (BenchReport with the final audit embedded)
+// The run fails (exit 1) if lookups fail under load, post-failure routing
+// drops below 99%, or the structural audit reports any violation.
 #include <iostream>
+#include <memory>
 
+#include "audit/auditor.h"
+#include "bench/bench_util.h"
 #include "canon/crescendo.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "overlay/event_sim.h"
 #include "overlay/population.h"
 #include "overlay/resilient_routing.h"
+#include "telemetry/journal.h"
 
 using namespace canon;
 
-int main() {
-  Rng rng(424242);
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "soak");
+  const std::uint64_t node_count = run.u64("nodes", 4096);
+  const std::uint64_t lookup_count = run.u64("lookups", 20000);
+  const std::string journal_path = run.str("journal", "");
+
+  Rng rng(run.seed * 10101 + 424242);
   PopulationSpec spec;
-  spec.node_count = 4096;
+  spec.node_count = node_count;
   spec.hierarchy.levels = 4;
   spec.hierarchy.fanout = 8;
   const OverlayNetwork net = make_population(spec, rng);
   const LinkTable links = build_crescendo(net);
 
-  // Phase 1: 20k concurrent lookups, Poisson-ish arrivals.
+  std::unique_ptr<telemetry::EventJournal> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<telemetry::EventJournal>(journal_path);
+  }
+
+  // Structural audit before applying load: a drifted structure would make
+  // every load number below meaningless.
+  const audit::StructureAuditor auditor(net, links);
+  const audit::AuditReport audit_report = auditor.audit("crescendo");
+  std::cout << "structural audit: " << audit_report.summary() << "\n\n";
+  if (journal) {
+    journal->audit_snapshot(net.size(), audit_report.total_checks(),
+                            audit_report.violations.size());
+  }
+  {
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("size",
+            telemetry::JsonValue(static_cast<std::uint64_t>(net.size())));
+    row.set("audit", audit_report.to_json());
+    run.report().add_row(std::move(row));
+  }
+
+  // Phase 1: concurrent lookups, Poisson-ish arrivals. Failed lookups
+  // land in the journal as lookup_failure events.
   EventSimulator sim(net, links);
-  for (int t = 0; t < 20000; ++t) {
+  sim.set_journal(journal.get());
+  for (std::uint64_t t = 0; t < lookup_count; ++t) {
     const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
-    sim.submit(from, net.space().wrap(rng()), 0.05 * t);
+    sim.submit(from, net.space().wrap(rng()),
+               0.05 * static_cast<double>(t));
   }
   sim.run();
   Percentiles latency;
@@ -37,8 +77,8 @@ int main() {
     failed += !lookup.ok;
   }
   for (const auto l : sim.node_load()) load.add(static_cast<double>(l));
-  std::cout << "phase 1: 20000 concurrent lookups over " << net.size()
-            << " nodes\n";
+  std::cout << "phase 1: " << lookup_count << " concurrent lookups over "
+            << net.size() << " nodes\n";
   std::cout << "  failures: " << failed << "\n";
   std::cout << "  lookup latency ms  p50 " << TextTable::num(latency.quantile(0.5), 2)
             << "  p99 " << TextTable::num(latency.quantile(0.99), 2) << "\n";
@@ -71,5 +111,20 @@ int main() {
             << TextTable::num(100.0 * ok / kTrials, 2) << "%)\n";
   std::cout << "  mean hops " << TextTable::num(hops.mean(), 2)
             << " (leaf sets route around the dead)\n";
-  return ok >= kTrials * 99 / 100 ? 0 : 1;
+
+  if (journal) journal->flush();
+  {
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("phase1_failures", telemetry::JsonValue(
+        static_cast<std::int64_t>(failed)));
+    row.set("phase2_ok", telemetry::JsonValue(
+        static_cast<std::int64_t>(ok)));
+    row.set("phase2_trials", telemetry::JsonValue(
+        static_cast<std::int64_t>(kTrials)));
+    run.report().add_row(std::move(row));
+  }
+  const int rc = run.finish();
+  if (rc != 0) return rc;
+  return failed == 0 && ok >= kTrials * 99 / 100 && audit_report.ok() ? 0
+                                                                      : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "canon/crescendo.h"
 #include "overlay/routing.h"
+#include "telemetry/journal.h"
 #include "telemetry/metrics.h"
 #include "telemetry/scoped_timer.h"
 
@@ -130,6 +131,11 @@ MaintenanceCost DynamicCrescendo::join(const OverlayNode& node) {
   cost.nodes_updated = static_cast<int>(dirty.size());
   dirty.push_back(node.id);
   recompute_links(dirty);
+  if (journal_) {
+    journal_->join(node.id, node.domain.branches(), cost.lookup_hops,
+                   members_.size());
+    journal_->repair("join", node.id, cost.nodes_updated);
+  }
   return cost;
 }
 
@@ -153,6 +159,10 @@ MaintenanceCost DynamicCrescendo::leave(NodeId id) {
   links_.erase(id);
   rebuild_network();
   recompute_links(dirty);
+  if (journal_) {
+    journal_->leave(id, members_.size());
+    journal_->repair("leave", id, cost.nodes_updated);
+  }
   return cost;
 }
 

@@ -23,6 +23,10 @@
 #include "overlay/link_table.h"
 #include "overlay/overlay_network.h"
 
+namespace canon::telemetry {
+class EventJournal;  // telemetry/journal.h
+}
+
 namespace canon {
 
 struct MaintenanceCost {
@@ -58,6 +62,11 @@ class DynamicCrescendo {
   /// the paper's per-level leaf set.
   std::vector<NodeId> leaf_set(NodeId id, int level, int count) const;
 
+  /// Attaches an event journal (see telemetry/journal.h): each successful
+  /// join() emits join + repair events, each leave() emits leave + repair,
+  /// so a churn run becomes a replayable JSONL artifact. nullptr detaches.
+  void set_journal(telemetry::EventJournal* journal) { journal_ = journal; }
+
  private:
   void rebuild_network();
   /// IDs whose links can change when `pivot` joins or leaves, computed on
@@ -70,6 +79,7 @@ class DynamicCrescendo {
   std::vector<OverlayNode> members_;
   std::unique_ptr<OverlayNetwork> net_;
   std::map<NodeId, std::vector<NodeId>> links_;
+  telemetry::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace canon

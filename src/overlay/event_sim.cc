@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/journal.h"
+
 namespace canon {
 
 EventSimulator::EventSimulator(const OverlayNetwork& net,
@@ -22,6 +24,19 @@ EventSimulator::EventSimulator(const OverlayNetwork& net,
   }
 }
 
+void EventSimulator::set_trace(telemetry::RouteTraceSink* sink) {
+  sink_ = sink;
+  if (!sink) return;
+  // Backfill begin_lookup for lookups submitted before the sink was
+  // attached so their hop/end events carry a real lookup id.
+  for (std::size_t i = 0; i < lookups_.size(); ++i) {
+    if (!traced_[i] && lookups_[i].completed_ms < 0) {
+      trace_ids_[i] = sink->begin_lookup(lookups_[i].from, lookups_[i].key);
+      traced_[i] = true;
+    }
+  }
+}
+
 int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
   if (from >= net_->size()) {
     throw std::out_of_range("EventSimulator::submit: bad node");
@@ -33,6 +48,7 @@ int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
   const int id = static_cast<int>(lookups_.size());
   lookups_.push_back(stats);
   trace_ids_.push_back(sink_ ? sink_->begin_lookup(from, key) : 0);
+  traced_.push_back(sink_ != nullptr);
   queue_.push(Event{at_ms, id, from});
   return id;
 }
@@ -76,15 +92,18 @@ void EventSimulator::run() {
       stats.ok = (stats.hops < hop_guard) &&
                  (ev.node == net_->responsible(stats.key));
       if (completed_counter_) completed_counter_->inc();
-      if (sink_) {
+      if (sink_ && traced_[static_cast<std::size_t>(ev.lookup)]) {
         sink_->end_lookup(trace_ids_[static_cast<std::size_t>(ev.lookup)],
                           stats.ok, ev.node);
+      }
+      if (journal_ && !stats.ok) {
+        journal_->lookup_failure(stats.from, stats.key, stats.hops);
       }
       continue;
     }
     const double hop_ms =
         latency_ ? latency_(ev.node, next) : config_.default_hop_ms;
-    if (sink_) {
+    if (sink_ && traced_[static_cast<std::size_t>(ev.lookup)]) {
       telemetry::HopRecord hop;
       hop.lookup = trace_ids_[static_cast<std::size_t>(ev.lookup)];
       hop.from = ev.node;

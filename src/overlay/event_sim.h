@@ -20,6 +20,10 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
+namespace canon::telemetry {
+class EventJournal;  // telemetry/journal.h
+}
+
 namespace canon {
 
 struct EventSimConfig {
@@ -64,9 +68,18 @@ class EventSimulator {
 
   /// Attaches a trace sink. Hop events carry the queueing delay the message
   /// experienced at the forwarding node and the modeled hop latency;
-  /// lookups interleave, so events are keyed by lookup id. Call before
-  /// submit() so begin_lookup fires for every lookup. nullptr detaches.
-  void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
+  /// lookups interleave, so events are keyed by lookup id. May be called
+  /// at any time: lookups submitted before attachment that have not yet
+  /// completed get a retroactive begin_lookup, so every traced lookup's
+  /// hop/end events are keyed to a real id. (Previously a late set_trace
+  /// silently dropped begin_lookup and emitted misattributed events.)
+  /// nullptr detaches; already-completed lookups are never re-traced.
+  void set_trace(telemetry::RouteTraceSink* sink);
+
+  /// Attaches an event journal (see telemetry/journal.h): every lookup
+  /// that completes unsuccessfully emits a lookup_failure event. nullptr
+  /// detaches.
+  void set_journal(telemetry::EventJournal* journal) { journal_ = journal; }
 
  private:
   struct Event {
@@ -89,7 +102,9 @@ class EventSimulator {
   std::vector<double> busy_until_;
   double now_ = 0;
   telemetry::RouteTraceSink* sink_ = nullptr;
+  telemetry::EventJournal* journal_ = nullptr;
   std::vector<std::uint64_t> trace_ids_;  // parallel to lookups_
+  std::vector<bool> traced_;              // begin_lookup fired for lookup i
   telemetry::Counter* messages_counter_;
   telemetry::Counter* completed_counter_;
   telemetry::LatencyHistogram* queue_hist_;

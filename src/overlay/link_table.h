@@ -114,6 +114,11 @@ class LinkTable {
   /// this being exact (byte-identical layouts compare equal).
   friend bool operator==(const LinkTable& a, const LinkTable& b);
 
+  /// Test-only backdoor (defined in tests/audit_test.cc): the public API
+  /// cannot produce a malformed CSR — set_neighbors() re-sorts — so the
+  /// auditor's mutation tests corrupt rows through this hook.
+  friend struct LinkTableMutator;
+
  private:
   [[noreturn]] void throw_neighbor_ids_unavailable() const;
 

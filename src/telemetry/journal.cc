@@ -1,0 +1,125 @@
+#include "telemetry/journal.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace canon::telemetry {
+
+EventJournal::EventJournal(std::ostream& os) : os_(&os) {}
+
+EventJournal::EventJournal(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)) {
+  if (!owned_->is_open()) {
+    throw std::runtime_error("EventJournal: cannot open " + path);
+  }
+  os_ = owned_.get();
+}
+
+std::uint64_t EventJournal::record(std::string_view type, JsonValue fields) {
+  if (!fields.is_object()) {
+    throw std::logic_error("EventJournal::record: fields must be an object");
+  }
+  JsonValue event = JsonValue::object();
+  const std::uint64_t seq = seq_++;
+  event.set("seq", JsonValue(seq));
+  event.set("type", JsonValue(type));
+  for (const auto& [key, value] : fields.members()) {
+    event.set(key, value);
+  }
+  event.write(*os_);  // compact: one line per event
+  *os_ << '\n';
+  return seq;
+}
+
+std::uint64_t EventJournal::join(std::uint64_t id,
+                                 const std::vector<std::uint16_t>& path,
+                                 int lookup_hops, std::size_t size) {
+  JsonValue fields = JsonValue::object();
+  fields.set("id", JsonValue(id));
+  JsonValue branches = JsonValue::array();
+  for (const std::uint16_t b : path) {
+    branches.push_back(JsonValue(static_cast<std::int64_t>(b)));
+  }
+  fields.set("path", std::move(branches));
+  fields.set("lookup_hops", JsonValue(lookup_hops));
+  fields.set("size", JsonValue(static_cast<std::uint64_t>(size)));
+  return record("join", std::move(fields));
+}
+
+std::uint64_t EventJournal::leave(std::uint64_t id, std::size_t size) {
+  JsonValue fields = JsonValue::object();
+  fields.set("id", JsonValue(id));
+  fields.set("size", JsonValue(static_cast<std::uint64_t>(size)));
+  return record("leave", std::move(fields));
+}
+
+std::uint64_t EventJournal::repair(std::string_view cause, std::uint64_t pivot,
+                                   int nodes_updated) {
+  JsonValue fields = JsonValue::object();
+  fields.set("cause", JsonValue(cause));
+  fields.set("pivot", JsonValue(pivot));
+  fields.set("nodes_updated", JsonValue(nodes_updated));
+  return record("repair", std::move(fields));
+}
+
+std::uint64_t EventJournal::lookup_failure(std::uint32_t from,
+                                           std::uint64_t key, int hops) {
+  JsonValue fields = JsonValue::object();
+  fields.set("from", JsonValue(static_cast<std::int64_t>(from)));
+  fields.set("key", JsonValue(key));
+  fields.set("hops", JsonValue(hops));
+  return record("lookup_failure", std::move(fields));
+}
+
+std::uint64_t EventJournal::audit_snapshot(std::size_t size,
+                                           std::uint64_t checks,
+                                           std::uint64_t violations) {
+  JsonValue fields = JsonValue::object();
+  fields.set("size", JsonValue(static_cast<std::uint64_t>(size)));
+  fields.set("checks", JsonValue(checks));
+  fields.set("violations", JsonValue(violations));
+  return record("audit_snapshot", std::move(fields));
+}
+
+void EventJournal::flush() { os_->flush(); }
+
+std::vector<JsonValue> read_journal(std::istream& is) {
+  std::vector<JsonValue> events;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue event;
+    try {
+      event = JsonValue::parse(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("journal line " + std::to_string(line_no) +
+                               ": " + e.what());
+    }
+    const JsonValue* seq = event.get("seq");
+    const JsonValue* type = event.get("type");
+    if (!event.is_object() || !seq || !seq->is_number() || !type ||
+        !type->is_string()) {
+      throw std::runtime_error("journal line " + std::to_string(line_no) +
+                               ": missing seq/type envelope");
+    }
+    if (seq->as_int() != static_cast<std::int64_t>(events.size())) {
+      throw std::runtime_error(
+          "journal line " + std::to_string(line_no) + ": seq " +
+          std::to_string(seq->as_int()) + " breaks the 0,1,2,... contract");
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<JsonValue> read_journal_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    throw std::runtime_error("read_journal_file: cannot open " + path);
+  }
+  return read_journal(is);
+}
+
+}  // namespace canon::telemetry

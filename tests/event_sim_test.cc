@@ -7,6 +7,7 @@
 #include "overlay/event_sim.h"
 #include "overlay/population.h"
 #include "overlay/routing.h"
+#include "telemetry/trace.h"
 
 namespace canon {
 namespace {
@@ -108,6 +109,46 @@ TEST(EventSim, ValidatesInputs) {
   EXPECT_THROW(sim.submit(99, 0, 0.0), std::out_of_range);
   LinkTable unfinalized(net.size());
   EXPECT_THROW(EventSimulator(net, unfinalized), std::invalid_argument);
+}
+
+TEST(EventSim, LateTraceAttachBackfillsBeginLookup) {
+  // set_trace after submit used to silently drop begin_lookup, leaving hop
+  // and end events keyed to an id the sink never saw. Attachment now
+  // backfills begin_lookup for every pending lookup.
+  const auto net = small_net(300, 3, 1006);
+  const auto links = build_crescendo(net);
+  EventSimulator sim(net, links);
+  Rng rng(11);
+  for (int t = 0; t < 20; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    sim.submit(from, net.space().wrap(rng()), static_cast<double>(t));
+  }
+  telemetry::RecordingTraceSink sink;
+  sim.set_trace(&sink);  // late attach: all 20 lookups are already queued
+  sim.run();
+  ASSERT_EQ(sink.lookups().size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto& traced = sink.lookups()[i];
+    const auto& stats = sim.lookups()[i];
+    EXPECT_TRUE(traced.done);
+    EXPECT_EQ(traced.ok, stats.ok);
+    EXPECT_EQ(traced.from, stats.from);
+    EXPECT_EQ(traced.key, stats.key);
+    EXPECT_EQ(static_cast<int>(traced.hops.size()), stats.hops);
+  }
+}
+
+TEST(EventSim, DetachedTraceEmitsNothing) {
+  const auto net = small_net(100, 2, 1007);
+  const auto links = build_crescendo(net);
+  EventSimulator sim(net, links);
+  telemetry::RecordingTraceSink sink;
+  sim.set_trace(&sink);
+  sim.set_trace(nullptr);  // detach before anything is submitted
+  sim.submit(0, net.id(50), 0.0);
+  sim.run();
+  EXPECT_TRUE(sim.lookups()[0].ok);
+  EXPECT_TRUE(sink.lookups().empty());
 }
 
 TEST(EventSim, HierarchicalLoadStaysHomogeneous) {

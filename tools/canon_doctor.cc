@@ -1,0 +1,352 @@
+// canon_doctor: build (or ingest) an overlay and audit its structure.
+//
+// Three modes, selected by flags:
+//
+//   static  (default)      Build --family over a fresh population and run
+//                          the family's full audit battery. --all audits
+//                          every one of the 13 families over the same
+//                          population. Exit 0 iff no violations.
+//   churn   (--churn=N)    Run N join/leave operations through
+//                          DynamicCrescendo, journaling every event to
+//                          --journal-out (JSONL) and appending an
+//                          audit_snapshot every --snapshot-every ops plus
+//                          one final snapshot. Exit 0 iff the final audit
+//                          is clean.
+//   replay  (--replay=F)   Re-read a churn journal, reconstruct the
+//                          surviving member set from its join/leave
+//                          events, rebuild Crescendo from scratch and
+//                          re-audit. Exit 0 iff the fresh audit is clean
+//                          AND its verdict matches the journal's final
+//                          audit_snapshot (the incremental structure and
+//                          the from-scratch one must agree).
+//
+// Common flags: --nodes=1024 --levels=3 --fanout=10 --seed=42 --json=F.
+// Replay assumes the default 32-bit ID space (the journal records IDs,
+// not the space). See docs/TELEMETRY.md for the journal schema.
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "bench/bench_util.h"
+#include "canon/cacophony.h"
+#include "canon/cancan.h"
+#include "canon/crescendo.h"
+#include "canon/kandy.h"
+#include "canon/mixed.h"
+#include "canon/nondet_crescendo.h"
+#include "canon/proximity.h"
+#include "dht/can.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "dht/nondet_chord.h"
+#include "dht/symphony.h"
+#include "hierarchy/generators.h"
+#include "maintenance/dynamic_crescendo.h"
+#include "overlay/population.h"
+#include "telemetry/journal.h"
+
+namespace {
+
+using namespace canon;
+
+/// Same construction conventions as tests/parallel_determinism_test.cc:
+/// randomized families draw from Rng(seed * 2 + 1), the proximity families
+/// group by the top bits (target group size 16) and use a synthetic but
+/// deterministic pairwise latency oracle.
+LinkTable build_family(const OverlayNetwork& net, std::string_view family,
+                       std::uint64_t seed) {
+  const HopCost cost = [](std::uint32_t a, std::uint32_t b) {
+    return static_cast<double>((a * 31u + b * 17u) % 97u + 1u);
+  };
+  Rng rng(seed * 2 + 1);
+  if (family == "chord") return build_chord(net);
+  if (family == "crescendo") return build_crescendo(net);
+  if (family == "clique_crescendo") return build_clique_crescendo(net);
+  if (family == "can") return build_can(net).links;
+  if (family == "cancan") return CanCanNetwork(net).links();
+  if (family == "symphony") return build_symphony(net, rng);
+  if (family == "nondet_chord") return build_nondet_chord(net, rng);
+  if (family == "kademlia") {
+    return build_kademlia(net, BucketChoice::kClosest, rng);
+  }
+  if (family == "kandy") return build_kandy(net, BucketChoice::kClosest, rng);
+  if (family == "cacophony") return build_cacophony(net, rng);
+  if (family == "nondet_crescendo") return build_nondet_crescendo(net, rng);
+  if (family == "chord_prox") {
+    const GroupedOverlay groups(net, ProximityConfig{}.target_group_size);
+    return build_chord_prox(net, groups, cost, ProximityConfig{}, rng);
+  }
+  if (family == "crescendo_prox") {
+    const GroupedOverlay groups(net, ProximityConfig{}.target_group_size);
+    return build_crescendo_prox(net, groups, cost, ProximityConfig{}, rng);
+  }
+  throw std::invalid_argument("canon_doctor: unknown family '" +
+                              std::string(family) + "'");
+}
+
+void print_report(std::string_view name, const audit::AuditReport& report) {
+  std::printf("  %-18s %s\n", std::string(name).c_str(),
+              report.summary().c_str());
+  constexpr std::size_t kMaxShown = 5;
+  for (std::size_t i = 0;
+       i < report.violations.size() && i < kMaxShown; ++i) {
+    const audit::Violation& v = report.violations[i];
+    std::printf("      [%s] node=%s level=%d: %s\n", v.check.c_str(),
+                v.node == audit::kNoNode ? "-" : std::to_string(v.node).c_str(),
+                v.level, v.detail.c_str());
+  }
+  if (report.violations.size() > kMaxShown) {
+    std::printf("      ... and %zu more\n",
+                report.violations.size() - kMaxShown);
+  }
+}
+
+telemetry::JsonValue family_row(std::string_view name,
+                                const audit::AuditReport& report) {
+  telemetry::JsonValue row = telemetry::JsonValue::object();
+  row.set("family", telemetry::JsonValue(name));
+  row.set("audit", report.to_json());
+  return row;
+}
+
+struct DoctorOptions {
+  std::size_t nodes = 1024;
+  int levels = 3;
+  int fanout = 10;
+  std::uint64_t seed = 42;
+};
+
+OverlayNetwork make_net(const DoctorOptions& opt) {
+  Rng rng(opt.seed);
+  PopulationSpec spec;
+  spec.node_count = opt.nodes;
+  spec.hierarchy.levels = opt.levels;
+  spec.hierarchy.fanout = opt.fanout;
+  return make_population(spec, rng);
+}
+
+int run_static(bench::BenchRun& run, const DoctorOptions& opt,
+               const std::string& family, bool all) {
+  const OverlayNetwork net = make_net(opt);
+  std::vector<std::string_view> families;
+  if (all) {
+    const auto names = audit::family_names();
+    families.assign(names.begin(), names.end());
+  } else {
+    families.push_back(family);
+  }
+  std::size_t total_violations = 0;
+  for (const std::string_view f : families) {
+    const LinkTable links = build_family(net, f, opt.seed);
+    const audit::StructureAuditor auditor(net, links);
+    const audit::AuditReport report = auditor.audit(f);
+    total_violations += report.violations.size();
+    print_report(f, report);
+    run.report().add_row(family_row(f, report));
+  }
+  std::printf("\n%s\n", total_violations == 0
+                            ? "all audited structures are healthy"
+                            : "structural violations detected");
+  const int rc = run.finish();
+  return rc != 0 ? rc : (total_violations == 0 ? 0 : 1);
+}
+
+/// Applies `ops` random join/leave operations; journals when `journal` is
+/// non-null and snapshots (journal + report rows) every `snapshot_every`
+/// ops plus once at the end. Returns the final report.
+audit::AuditReport run_churn_ops(bench::BenchRun& run, DynamicCrescendo& dyn,
+                                 const DoctorOptions& opt, std::uint64_t ops,
+                                 std::uint64_t snapshot_every,
+                                 telemetry::EventJournal* journal) {
+  Rng rng(opt.seed + 0x9e3779b97f4a7c15ULL);
+  HierarchySpec hier;
+  hier.levels = opt.levels;
+  hier.fanout = opt.fanout;
+  const IdSpace space = dyn.network().space();
+  const std::size_t floor_size = opt.nodes / 2 + 2;
+
+  const auto snapshot = [&](std::uint64_t op) {
+    const LinkTable links = dyn.link_table();
+    const audit::StructureAuditor auditor(dyn.network(), links);
+    const audit::AuditReport report = auditor.audit("crescendo");
+    if (journal) {
+      journal->audit_snapshot(dyn.size(), report.total_checks(),
+                              report.violations.size());
+    }
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("op", telemetry::JsonValue(op));
+    row.set("size",
+            telemetry::JsonValue(static_cast<std::uint64_t>(dyn.size())));
+    row.set("checks", telemetry::JsonValue(report.total_checks()));
+    row.set("violations",
+            telemetry::JsonValue(
+                static_cast<std::uint64_t>(report.violations.size())));
+    run.report().add_row(std::move(row));
+    return report;
+  };
+
+  for (std::uint64_t op = 1; op <= ops; ++op) {
+    const bool join = dyn.size() <= floor_size ||
+                      (dyn.size() < 2 * opt.nodes && rng.uniform(2) == 0);
+    if (join) {
+      OverlayNode node;
+      do {
+        node.id = rng() & space.mask();
+      } while (dyn.links_by_id().contains(node.id));
+      node.domain = generate_hierarchy(1, hier, rng)[0];
+      dyn.join(node);
+    } else {
+      const auto& links = dyn.links_by_id();
+      auto it = links.begin();
+      std::advance(it, static_cast<long>(rng.uniform(links.size())));
+      dyn.leave(it->first);
+    }
+    if (snapshot_every > 0 && op % snapshot_every == 0 && op != ops) {
+      snapshot(op);
+    }
+  }
+  audit::AuditReport final_report = snapshot(ops);
+  if (journal) journal->flush();
+  return final_report;
+}
+
+int run_churn(bench::BenchRun& run, const DoctorOptions& opt,
+              std::uint64_t ops, std::uint64_t snapshot_every,
+              const std::string& journal_path) {
+  Rng rng(opt.seed);
+  PopulationSpec spec;
+  spec.node_count = opt.nodes;
+  spec.hierarchy.levels = opt.levels;
+  spec.hierarchy.fanout = opt.fanout;
+  const IdSpace space(spec.id_bits);
+  const std::vector<NodeId> ids =
+      sample_unique_ids(spec.node_count, space, rng);
+  const std::vector<DomainPath> paths =
+      generate_hierarchy(spec.node_count, spec.hierarchy, rng);
+  std::vector<OverlayNode> initial(spec.node_count);
+  for (std::size_t i = 0; i < spec.node_count; ++i) {
+    initial[i].id = ids[i];
+    initial[i].domain = paths[i];
+  }
+  DynamicCrescendo dyn(space, std::move(initial));
+
+  std::unique_ptr<telemetry::EventJournal> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<telemetry::EventJournal>(journal_path);
+    // Journal the bootstrap population as join events (lookup_hops 0:
+    // these nodes never routed an insertion lookup) so a replay can
+    // reconstruct the full member set, not just the churn-time joiners.
+    std::size_t bootstrapped = 0;
+    for (std::size_t i = 0; i < spec.node_count; ++i) {
+      journal->join(ids[i], paths[i].branches(), 0, ++bootstrapped);
+    }
+  }
+  dyn.set_journal(journal.get());
+
+  const audit::AuditReport report =
+      run_churn_ops(run, dyn, opt, ops, snapshot_every, journal.get());
+  std::printf("after %llu churn ops (final size %zu):\n",
+              static_cast<unsigned long long>(ops), dyn.size());
+  print_report("crescendo", report);
+  if (journal) {
+    std::printf("journal: %s (%llu events)\n", journal_path.c_str(),
+                static_cast<unsigned long long>(journal->events()));
+  }
+  const int rc = run.finish();
+  return rc != 0 ? rc : (report.ok() ? 0 : 1);
+}
+
+int run_replay(bench::BenchRun& run, const std::string& journal_path) {
+  const std::vector<telemetry::JsonValue> events =
+      telemetry::read_journal_file(journal_path);
+
+  // Reconstruct the surviving member set; remember the last snapshot's
+  // verdict for the incremental-vs-from-scratch comparison.
+  std::map<NodeId, DomainPath> members;
+  bool saw_snapshot = false;
+  std::uint64_t snapshot_violations = 0;
+  for (const telemetry::JsonValue& ev : events) {
+    const std::string& type = ev.get("type")->as_string();
+    if (type == "join") {
+      std::vector<std::uint16_t> branches;
+      for (const telemetry::JsonValue& b : ev.get("path")->items()) {
+        branches.push_back(static_cast<std::uint16_t>(b.as_int()));
+      }
+      members[static_cast<NodeId>(ev.get("id")->as_int())] =
+          DomainPath(std::move(branches));
+    } else if (type == "leave") {
+      members.erase(static_cast<NodeId>(ev.get("id")->as_int()));
+    } else if (type == "audit_snapshot") {
+      saw_snapshot = true;
+      snapshot_violations =
+          static_cast<std::uint64_t>(ev.get("violations")->as_int());
+    }
+  }
+
+  std::vector<OverlayNode> nodes;
+  nodes.reserve(members.size());
+  for (const auto& [id, path] : members) {
+    nodes.push_back(OverlayNode{id, path, -1});
+  }
+  const OverlayNetwork net(IdSpace(), std::move(nodes));
+  const LinkTable links = build_crescendo(net);
+  const audit::StructureAuditor auditor(net, links);
+  const audit::AuditReport report = auditor.audit("crescendo");
+
+  std::printf("replayed %zu events -> %zu surviving members\n", events.size(),
+              members.size());
+  print_report("crescendo", report);
+  bool verdicts_agree = true;
+  if (saw_snapshot) {
+    verdicts_agree = (snapshot_violations == 0) == report.ok();
+    std::printf("journal's final snapshot: %llu violations -> verdicts %s\n",
+                static_cast<unsigned long long>(snapshot_violations),
+                verdicts_agree ? "AGREE" : "DISAGREE");
+  }
+  telemetry::JsonValue row = family_row("crescendo", report);
+  row.set("replayed_events",
+          telemetry::JsonValue(static_cast<std::uint64_t>(events.size())));
+  row.set("verdicts_agree", telemetry::JsonValue(verdicts_agree));
+  run.report().add_row(std::move(row));
+  const int rc = run.finish();
+  return rc != 0 ? rc : ((report.ok() && verdicts_agree) ? 0 : 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bench::BenchRun run(argc, argv, "canon_doctor");
+    const std::string family = run.str("family", "crescendo");
+    const bool all = run.boolean("all", false);
+    DoctorOptions opt;
+    opt.nodes = run.u64("nodes", 1024);
+    opt.levels = static_cast<int>(run.u64("levels", 3));
+    opt.fanout = static_cast<int>(run.u64("fanout", 10));
+    opt.seed = run.seed;
+    const std::uint64_t churn = run.u64("churn", 0);
+    const std::uint64_t snapshot_every = run.u64("snapshot-every", 100);
+    const std::string journal_out = run.str("journal-out", "");
+    const std::string replay = run.str("replay", "");
+
+    run.header("canon_doctor: structural health report",
+               "invariants of Sections 2.1, 2.3, 3.4 (audit battery)");
+
+    if (!replay.empty()) return run_replay(run, replay);
+    if (churn > 0) return run_churn(run, opt, churn, snapshot_every,
+                                    journal_out);
+    if (!all && !audit::is_family(family)) {
+      std::fprintf(stderr, "canon_doctor: unknown family '%s'\n",
+                   family.c_str());
+      return 2;
+    }
+    return run_static(run, opt, family, all);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "canon_doctor: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,16 @@
+# ctest script: a small churn run must journal cleanly and replay to the
+# same healthy verdict (incremental structure == from-scratch structure).
+set(journal "${WORK_DIR}/doctor_churn.jsonl")
+execute_process(
+  COMMAND "${DOCTOR}" --nodes=128 --churn=60 --snapshot-every=20
+          --journal-out=${journal}
+  RESULT_VARIABLE churn_rc)
+if(NOT churn_rc EQUAL 0)
+  message(FATAL_ERROR "canon_doctor churn run failed (rc=${churn_rc})")
+endif()
+execute_process(
+  COMMAND "${DOCTOR}" --replay=${journal}
+  RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR "canon_doctor replay failed (rc=${replay_rc})")
+endif()
