@@ -1,6 +1,10 @@
 // Ablation A4 (Sections 3.1-3.4): the rest of the Canon family vs their
 // flat originals — degree, hops and routing success for Cacophony,
 // nondeterministic Crescendo, Kandy (both merge policies) and Can-Can.
+//
+// Each system routes its own pre-generated workload (forked off the shared
+// experiment RNG) through the batch QueryEngine; hop means cover
+// successful routes.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -14,6 +18,7 @@
 #include "dht/nondet_chord.h"
 #include "dht/symphony.h"
 #include "overlay/population.h"
+#include "overlay/query_engine.h"
 #include "overlay/routing.h"
 
 using namespace canon;
@@ -27,22 +32,35 @@ struct Row {
   double success = 0;
 };
 
-template <typename RouteFn>
-Row measure(const std::string& name, double degree, RouteFn&& route_fn,
+/// Routes a fresh workload (forked off `rng`, which advances by one draw)
+/// through the engine on any router exposing the route_into/probe hot
+/// paths.
+template <typename Router>
+Row measure(const std::string& name, double degree, const Router& router,
             const OverlayNetwork& net, std::uint64_t trials, Rng& rng) {
-  Summary hops;
-  std::uint64_t ok = 0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
-    const NodeId key = net.space().wrap(rng());
-    const Route r = route_fn(from, key);
-    if (r.ok) {
-      ++ok;
-      hops.add(r.hops());
-    }
-  }
-  return Row{name, degree, hops.mean(),
-             static_cast<double>(ok) / static_cast<double>(trials)};
+  const QueryEngine engine(net);
+  const auto queries = uniform_workload(net, trials, rng.fork(rng()));
+  const QueryStats st = engine.run(queries, router);
+  return Row{name, degree, st.hops.mean(),
+             static_cast<double>(st.ok()) / static_cast<double>(st.queries)};
+}
+
+/// Same for routers that only expose route() (CAN family): full mode via a
+/// per-query Route assignment, no probe.
+template <typename Router>
+Row measure_via_route(const std::string& name, double degree,
+                      const Router& router, const OverlayNetwork& net,
+                      std::uint64_t trials, Rng& rng) {
+  const QueryEngine engine(net);
+  const auto queries = uniform_workload(net, trials, rng.fork(rng()));
+  const QueryStats st = engine.run_batch(
+      queries,
+      [&router](std::uint32_t from, NodeId key, Route& out) {
+        out = router.route(from, key);
+      },
+      nullptr);
+  return Row{name, degree, st.hops.mean(),
+             static_cast<double>(st.ok()) / static_cast<double>(st.queries)};
 }
 
 }  // namespace
@@ -71,67 +89,59 @@ int main(int argc, char** argv) {
   {
     const auto links = build_symphony(flat, rng);
     const RingRouter r(flat, links);
-    rows.push_back(measure("Symphony (flat)", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); },
-                           flat, trials, rng));
+    rows.push_back(
+        measure("Symphony (flat)", links.mean_degree(), r, flat, trials, rng));
   }
   {
     const auto links = build_cacophony(net, rng);
     const RingRouter r(net, links);
-    rows.push_back(measure("Cacophony", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); }, net,
-                           trials, rng));
+    rows.push_back(
+        measure("Cacophony", links.mean_degree(), r, net, trials, rng));
   }
   {
     const auto links = build_nondet_chord(flat, rng);
     const RingRouter r(flat, links);
-    rows.push_back(measure("Nondet Chord (flat)", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); },
+    rows.push_back(measure("Nondet Chord (flat)", links.mean_degree(), r,
                            flat, trials, rng));
   }
   {
     const auto links = build_nondet_crescendo(net, rng);
     const RingRouter r(net, links);
-    rows.push_back(measure("Nondet Crescendo", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); }, net,
+    rows.push_back(measure("Nondet Crescendo", links.mean_degree(), r, net,
                            trials, rng));
   }
   {
     const auto links = build_kademlia(flat, BucketChoice::kClosest, rng);
     const XorRouter r(flat, links);
-    rows.push_back(measure("Kademlia (flat)", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); },
-                           flat, trials, rng));
+    rows.push_back(measure("Kademlia (flat)", links.mean_degree(), r, flat,
+                           trials, rng));
   }
   {
     const auto links =
         build_kandy(net, BucketChoice::kClosest, rng, MergePolicy::kFrugal);
     const XorRouter r(net, links);
-    rows.push_back(measure("Kandy (frugal merge)", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); }, net,
-                           trials, rng));
+    rows.push_back(measure("Kandy (frugal merge)", links.mean_degree(), r,
+                           net, trials, rng));
   }
   {
     const auto links =
         build_kandy(net, BucketChoice::kClosest, rng, MergePolicy::kLiteral);
     const XorRouter r(net, links);
-    rows.push_back(measure("Kandy (literal merge)", links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); }, net,
-                           trials, rng));
+    rows.push_back(measure("Kandy (literal merge)", links.mean_degree(), r,
+                           net, trials, rng));
   }
   {
     const auto can = build_can(flat);
     const CanRouter r(flat, can.tree, can.links);
-    rows.push_back(measure("CAN (flat, prefix-tree)", can.links.mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); },
-                           flat, trials, rng));
+    rows.push_back(measure_via_route("CAN (flat, prefix-tree)",
+                                     can.links.mean_degree(), r, flat, trials,
+                                     rng));
   }
   {
     const CanCanNetwork cancan(net);
     const CanCanRouter r(cancan);
-    rows.push_back(measure("Can-Can", cancan.links().mean_degree(),
-                           [&](auto f, auto k) { return r.route(f, k); }, net,
-                           trials, rng));
+    rows.push_back(measure_via_route("Can-Can", cancan.links().mean_degree(),
+                                     r, net, trials, rng));
   }
 
   TextTable table({"system", "mean degree", "mean hops", "success"});

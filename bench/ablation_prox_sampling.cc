@@ -8,6 +8,7 @@
 #include "canon/proximity.h"
 #include "common/table.h"
 #include "overlay/metrics.h"
+#include "overlay/query_engine.h"
 #include "topology/physical_network.h"
 
 using namespace canon;
@@ -30,6 +31,11 @@ int main(int argc, char** argv) {
 
   TextTable table({"s", "mean group-link ms", "mean route ms",
                    "route stretch vs s=32"});
+  // One workload for every s (the original re-seeded identically per s);
+  // routed through the batch QueryEngine with per-path latency costs.
+  QueryEngine engine(net);
+  engine.set_cost(cost);
+  const auto queries = uniform_workload(net, trials, Rng(seed + 3));
   double base_route = 0;
   std::vector<std::vector<std::string>> rows;
   for (const int s : {1, 2, 4, 8, 16, 32}) {
@@ -47,14 +53,7 @@ int main(int argc, char** argv) {
       }
     }
     const GroupRouter router(net, groups, links);
-    Summary route_ms;
-    Rng qrng(seed + 3);
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      const auto from = static_cast<std::uint32_t>(qrng.uniform(net.size()));
-      const NodeId key = net.space().wrap(qrng());
-      const Route r = router.route(from, key);
-      if (r.ok) route_ms.add(path_cost(r, cost));
-    }
+    const Summary route_ms = engine.run(queries, router).cost;
     if (s == 32) base_route = route_ms.mean();
     rows.push_back({std::to_string(s), TextTable::num(link_ms.mean(), 0),
                     TextTable::num(route_ms.mean(), 0),

@@ -32,12 +32,28 @@
 
 #include "bench/flags.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "common/table.h"
+#include "overlay/population.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
 
 namespace canon::bench {
+
+/// The standard benchmark population: `n` nodes in a `levels`-deep
+/// hierarchy with fanout 10 (the figures' default), grown from its own
+/// dedicated seed. Shared by the micro benches so every binary ties its
+/// timings to the same structures.
+inline OverlayNetwork bench_population(std::size_t n, int levels,
+                                       std::uint64_t seed = 42) {
+  Rng rng(seed);
+  PopulationSpec spec;
+  spec.node_count = n;
+  spec.hierarchy.levels = levels;
+  spec.hierarchy.fanout = 10;
+  return make_population(spec, rng);
+}
 
 inline void header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n", title);

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """End-to-end check for the machine-readable output schemas.
 
-Two modes:
+Three modes:
 
   check_json_schema.py <bench_binary>
     Runs a bench binary with small parameters and --json, then asserts the
@@ -9,6 +9,13 @@ Two modes:
     for fig5_hops — that every series row's per-hierarchy-level hop
     breakdown sums to its total hop count (the paper's convergence
     accounting).
+
+  check_json_schema.py --threads-invariant <bench_binary> [args...]
+    Runs the binary at --threads=1 and --threads=8 with the given args and
+    asserts the two --json reports are identical after stripping the
+    wall-clock-dependent fields (params.threads, metrics.gauges,
+    metrics.histograms): the batch QueryEngine / parallel construction
+    determinism contract (docs/PERFORMANCE.md).
 
   check_json_schema.py --doctor <canon_doctor_binary>
     Runs canon_doctor in static (--all) and churn (--journal-out) modes
@@ -91,8 +98,11 @@ def check_bench(binary):
                 f"(nodes={row['nodes']}, levels={row['levels']})")
             assert len(by_level) <= row["levels"] + 1
         counters = doc["metrics"]["counters"]
-        assert counters["ring_router.routes"] > 0
-        assert counters["ring_router.hops"] == sum(
+        # Lookups flow through the batch QueryEngine, which flushes its
+        # per-shard tallies to the query_engine.* counters post-merge.
+        assert counters["query_engine.queries"] > 0
+        assert counters["query_engine.failures"] == 0
+        assert counters["query_engine.hops"] == sum(
             r["total_hops"] for r in doc["series"])
 
 
@@ -129,9 +139,34 @@ def check_doctor(binary):
                        check=True, stdout=subprocess.DEVNULL)
 
 
+def strip_timing(doc):
+    """Removes the only report fields allowed to vary with --threads."""
+    doc["params"].pop("threads", None)
+    doc["metrics"].pop("gauges", None)
+    doc["metrics"].pop("histograms", None)
+    return doc
+
+
+def check_threads_invariant(binary, extra_args):
+    docs = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for threads in (1, 8):
+            out = os.path.join(tmp, f"t{threads}.json")
+            subprocess.run(
+                [binary, *extra_args, f"--threads={threads}",
+                 f"--json={out}"],
+                check=True, stdout=subprocess.DEVNULL)
+            with open(out) as f:
+                docs.append(strip_timing(json.load(f)))
+    assert docs[0] == docs[1], (
+        "report differs between --threads=1 and --threads=8")
+
+
 def main():
     if sys.argv[1] == "--doctor":
         check_doctor(sys.argv[2])
+    elif sys.argv[1] == "--threads-invariant":
+        check_threads_invariant(sys.argv[2], sys.argv[3:])
     else:
         check_bench(sys.argv[1])
     print("ok")

@@ -4,18 +4,21 @@
 // (at most ~0.7) as the number of levels grows, mirroring the slight drop
 // in links.
 //
-// With --json, each (nodes, levels) cell additionally reports the
-// per-hierarchy-level hop breakdown captured by a route trace: hops at
-// level l stay inside a common level-l domain (deep = local). The
-// breakdown always sums to the cell's total hop count.
+// Lookups run through the batch QueryEngine: the (from, key) workload is
+// pre-generated from forked RNG streams and fanned across --threads, with
+// results byte-identical at every thread count. With --json, each
+// (nodes, levels) cell additionally reports the per-hierarchy-level hop
+// breakdown tallied by the engine: hops at level l stay inside a common
+// level-l domain (deep = local). The breakdown always sums to the cell's
+// total hop count.
 #include <iostream>
 
 #include "bench/bench_util.h"
 #include "canon/crescendo.h"
 #include "common/table.h"
 #include "overlay/population.h"
+#include "overlay/query_engine.h"
 #include "overlay/routing.h"
-#include "telemetry/trace.h"
 
 using namespace canon;
 
@@ -39,30 +42,24 @@ int main(int argc, char** argv) {
       spec.hierarchy.fanout = 10;
       const auto net = make_population(spec, rng);
       const auto links = build_crescendo(net);
-      RingRouter router(net, links);
-      telemetry::LevelHopCounter counter;
-      if (run.json_enabled()) router.set_trace(&counter);
-      Summary hops;
-      for (std::uint64_t t = 0; t < trials; ++t) {
-        const auto from =
-            static_cast<std::uint32_t>(rng.uniform(net.size()));
-        const NodeId key = net.space().wrap(rng());
-        const Route r = router.route(from, key);
-        if (!r.ok) {
-          std::cerr << "routing failure (broken structure)\n";
-          return 1;
-        }
-        hops.add(r.hops());
+      const RingRouter router(net, links);
+      QueryEngine engine(net);
+      engine.set_level_tracking(run.json_enabled());
+      const auto queries = uniform_workload(net, trials, rng);
+      const QueryStats stats = engine.run(queries, router);
+      if (stats.failures != 0) {
+        std::cerr << "routing failure (broken structure)\n";
+        return 1;
       }
-      row.push_back(TextTable::num(hops.mean(), 2));
+      row.push_back(TextTable::num(stats.hops.mean(), 2));
       if (run.json_enabled()) {
         telemetry::JsonValue cell = telemetry::JsonValue::object();
         cell.set("nodes", telemetry::JsonValue(n));
         cell.set("levels", telemetry::JsonValue(levels));
-        cell.set("mean_hops", telemetry::JsonValue(hops.mean()));
-        cell.set("total_hops", telemetry::JsonValue(counter.total_hops()));
+        cell.set("mean_hops", telemetry::JsonValue(stats.hops.mean()));
+        cell.set("total_hops", telemetry::JsonValue(stats.total_hops));
         telemetry::JsonValue by_level = telemetry::JsonValue::array();
-        for (const std::uint64_t c : counter.hops_by_level()) {
+        for (const std::uint64_t c : stats.hops_by_level) {
           by_level.push_back(telemetry::JsonValue(c));
         }
         cell.set("hops_by_level", std::move(by_level));

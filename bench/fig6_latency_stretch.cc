@@ -6,6 +6,10 @@
 // (stretch 5-8); plain Crescendo holds an almost constant stretch ~2.7;
 // Chord (Prox.) improves but still grows (~2 at 64K); Crescendo (Prox.)
 // holds a constant stretch ~1.3 and wins everywhere.
+//
+// Lookups run through the batch QueryEngine (workload pre-generated from
+// forked RNG streams, fanned across --threads, byte-identical results at
+// every thread count); latency Summaries cover successful routes.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -14,6 +18,7 @@
 #include "common/table.h"
 #include "dht/chord.h"
 #include "overlay/metrics.h"
+#include "overlay/query_engine.h"
 #include "overlay/routing.h"
 #include "topology/physical_network.h"
 
@@ -47,26 +52,20 @@ int main(int argc, char** argv) {
     const GroupedOverlay groups(net, 16);
     const ProximityConfig cfg;
 
-    struct System {
-      const char* name;
-      Summary ms;
-    };
+    QueryEngine engine(net);
+    engine.set_cost(cost);
     std::vector<Summary> ms(4);
 
-    // Plain Chord and Crescendo share the greedy ring router.
+    // Plain Chord and Crescendo share the greedy ring router (and the
+    // same pre-generated workload, as before).
     {
       const auto chord = build_chord(net);
       const auto crescendo = build_crescendo(net);
       const RingRouter chord_router(net, chord);
       const RingRouter crescendo_router(net, crescendo);
-      Rng qrng(seed + n + 1);
-      for (std::uint64_t t = 0; t < trials; ++t) {
-        const auto from =
-            static_cast<std::uint32_t>(qrng.uniform(net.size()));
-        const NodeId key = net.space().wrap(qrng());
-        ms[0].add(path_cost(chord_router.route(from, key), cost));
-        ms[1].add(path_cost(crescendo_router.route(from, key), cost));
-      }
+      const auto queries = uniform_workload(net, trials, Rng(seed + n + 1));
+      ms[0] = engine.run(queries, chord_router).cost;
+      ms[1] = engine.run(queries, crescendo_router).cost;
     }
     // Proximity-adapted versions use the group router.
     {
@@ -76,16 +75,9 @@ int main(int argc, char** argv) {
           build_crescendo_prox(net, groups, cost, cfg, brng);
       const GroupRouter chord_router(net, groups, chord_prox);
       const GroupRouter crescendo_router(net, groups, crescendo_prox);
-      Rng qrng(seed + n + 3);
-      for (std::uint64_t t = 0; t < trials; ++t) {
-        const auto from =
-            static_cast<std::uint32_t>(qrng.uniform(net.size()));
-        const NodeId key = net.space().wrap(qrng());
-        const Route a = chord_router.route(from, key);
-        const Route b = crescendo_router.route(from, key);
-        if (a.ok) ms[2].add(path_cost(a, cost));
-        if (b.ok) ms[3].add(path_cost(b, cost));
-      }
+      const auto queries = uniform_workload(net, trials, Rng(seed + n + 3));
+      ms[2] = engine.run(queries, chord_router).cost;
+      ms[3] = engine.run(queries, crescendo_router).cost;
     }
 
     std::vector<std::string> row = {TextTable::num(n)};

@@ -9,6 +9,10 @@
 // Expected shape (paper): Crescendo latency collapses as locality rises
 // (virtually zero at level 3+, where queries stay inside one stub domain);
 // Chord barely improves even with proximity adaptation.
+//
+// Per-level workloads are pre-generated from forked RNG streams and run
+// through the batch QueryEngine (all three systems route the same
+// queries); latency Summaries cover successful routes.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -16,6 +20,7 @@
 #include "canon/proximity.h"
 #include "common/table.h"
 #include "overlay/metrics.h"
+#include "overlay/query_engine.h"
 #include "overlay/routing.h"
 #include "topology/physical_network.h"
 
@@ -49,26 +54,24 @@ int main(int argc, char** argv) {
                    "Crescendo (No Prox.) ms", "Crescendo (Prox.) ms"});
   const char* labels[] = {"Top Level", "Level 1", "Level 2", "Level 3",
                           "Level 4"};
+  QueryEngine engine(net);
+  engine.set_cost(cost);
   for (int level = 0; level <= 4; ++level) {
-    Summary ms_chord_prox;
-    Summary ms_crescendo;
-    Summary ms_crescendo_prox;
-    Rng qrng(seed + 7 + level);
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      const auto from = static_cast<std::uint32_t>(qrng.uniform(net.size()));
-      // Pick content stored at a random node of the source's level-k
-      // domain (level 0 = anywhere); the query key is that node's ID.
-      const int domain = net.domains().domain_of(from, level);
-      const RingView ring = net.domain_ring(domain);
-      const std::uint32_t target = ring.at(qrng.uniform(ring.size()));
-      const NodeId key = net.id(target);
-      const Route a = chord_prox_router.route(from, key);
-      const Route b = crescendo_router.route(from, key);
-      const Route c = crescendo_prox_router.route(from, key);
-      if (a.ok) ms_chord_prox.add(path_cost(a, cost));
-      if (b.ok) ms_crescendo.add(path_cost(b, cost));
-      if (c.ok) ms_crescendo_prox.add(path_cost(c, cost));
-    }
+    // A query picks content stored at a random node of the source's
+    // level-k domain (level 0 = anywhere); the key is that node's ID.
+    const auto queries = generate_workload(
+        trials, Rng(seed + 7 + static_cast<std::uint64_t>(level)),
+        [&](Rng& q, std::size_t) {
+          const auto from = static_cast<std::uint32_t>(q.uniform(net.size()));
+          const int domain = net.domains().domain_of(from, level);
+          const RingView ring = net.domain_ring(domain);
+          const std::uint32_t target = ring.at(q.uniform(ring.size()));
+          return Query{from, net.id(target)};
+        });
+    const Summary ms_chord_prox = engine.run(queries, chord_prox_router).cost;
+    const Summary ms_crescendo = engine.run(queries, crescendo_router).cost;
+    const Summary ms_crescendo_prox =
+        engine.run(queries, crescendo_prox_router).cost;
     table.add_row({labels[level], TextTable::num(ms_chord_prox.mean(), 0),
                    TextTable::num(ms_crescendo.mean(), 0),
                    TextTable::num(ms_crescendo_prox.mean(), 0)});

@@ -2,6 +2,7 @@
 // link builders at several network sizes.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "bench/micro_util.h"
 
 #include "canon/cancan.h"
@@ -16,17 +17,9 @@
 namespace canon {
 namespace {
 
-OverlayNetwork population(std::int64_t n, int levels) {
-  Rng rng(42);
-  PopulationSpec spec;
-  spec.node_count = static_cast<std::size_t>(n);
-  spec.hierarchy.levels = levels;
-  spec.hierarchy.fanout = 10;
-  return make_population(spec, rng);
-}
-
 void BM_BuildChord(benchmark::State& state) {
-  const auto net = population(state.range(0), 1);
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(build_chord(net));
   }
@@ -35,7 +28,8 @@ void BM_BuildChord(benchmark::State& state) {
 BENCHMARK(BM_BuildChord)->Arg(1024)->Arg(8192)->Arg(32768);
 
 void BM_BuildCrescendo(benchmark::State& state) {
-  const auto net = population(state.range(0), 4);
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(build_crescendo(net));
   }
@@ -44,7 +38,8 @@ void BM_BuildCrescendo(benchmark::State& state) {
 BENCHMARK(BM_BuildCrescendo)->Arg(1024)->Arg(8192)->Arg(32768)->Arg(65536);
 
 void BM_BuildKandy(benchmark::State& state) {
-  const auto net = population(state.range(0), 4);
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
   Rng rng(7);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -55,7 +50,8 @@ void BM_BuildKandy(benchmark::State& state) {
 BENCHMARK(BM_BuildKandy)->Arg(1024)->Arg(8192);
 
 void BM_BuildCanCan(benchmark::State& state) {
-  const auto net = population(state.range(0), 4);
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
   for (auto _ : state) {
     CanCanNetwork cancan(net);
     benchmark::DoNotOptimize(cancan.links().total_links());

@@ -1,68 +1,146 @@
 // Microbenchmarks (google-benchmark): routing throughput for the greedy
-// ring router (Chord/Crescendo), lookahead and XOR routing.
+// ring router (Chord/Crescendo), lookahead and XOR routing, plus the batch
+// QueryEngine.
+//
+// All (from, key) workloads are pre-generated outside the timed loops
+// (cycled through a power-of-two array), so BM_Route* measures routing
+// only — not RNG draws. The BM_Batch* benchmarks route the whole workload
+// per iteration through the QueryEngine; pass --threads=N to fan the batch
+// across the pool (items/sec is the headline number).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "bench/micro_util.h"
 
 #include "canon/crescendo.h"
 #include "canon/kandy.h"
 #include "dht/chord.h"
 #include "overlay/population.h"
+#include "overlay/query_engine.h"
 #include "overlay/routing.h"
 
 namespace canon {
 namespace {
 
-OverlayNetwork population(std::int64_t n, int levels) {
-  Rng rng(42);
-  PopulationSpec spec;
-  spec.node_count = static_cast<std::size_t>(n);
-  spec.hierarchy.levels = levels;
-  spec.hierarchy.fanout = 10;
-  return make_population(spec, rng);
-}
+/// Pre-generated workload size; a power of two so the timed loops cycle
+/// with a mask instead of a modulo.
+constexpr std::size_t kWorkload = 4096;
+constexpr std::size_t kMask = kWorkload - 1;
 
 void BM_RouteCrescendo(benchmark::State& state) {
-  const auto net = population(state.range(0), 4);
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
   const auto links = build_crescendo(net);
   const RingRouter router(net, links);
-  Rng rng(11);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  std::size_t i = 0;
   for (auto _ : state) {
-    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
-    const NodeId key = net.space().wrap(rng());
-    benchmark::DoNotOptimize(router.route(from, key));
+    const Query& q = queries[i++ & kMask];
+    benchmark::DoNotOptimize(router.route(q.from, q.key));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouteCrescendo)->Arg(1024)->Arg(8192)->Arg(65536);
 
-void BM_RouteCrescendoLookahead(benchmark::State& state) {
-  const auto net = population(state.range(0), 4);
+void BM_RouteCrescendoInto(benchmark::State& state) {
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
   const auto links = build_crescendo(net);
   const RingRouter router(net, links);
-  Rng rng(12);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  Route scratch;  // reused: no per-query allocation after warm-up
+  std::size_t i = 0;
   for (auto _ : state) {
-    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
-    const NodeId key = net.space().wrap(rng());
-    benchmark::DoNotOptimize(router.route_lookahead(from, key));
+    const Query& q = queries[i++ & kMask];
+    router.route_into(q.from, q.key, scratch);
+    benchmark::DoNotOptimize(scratch.ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCrescendoInto)->Arg(8192);
+
+void BM_ProbeCrescendo(benchmark::State& state) {
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
+  const auto links = build_crescendo(net);
+  const RingRouter router(net, links);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ & kMask];
+    benchmark::DoNotOptimize(router.probe(q.from, q.key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeCrescendo)->Arg(8192);
+
+void BM_RouteCrescendoLookahead(benchmark::State& state) {
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
+  const auto links = build_crescendo(net);
+  const RingRouter router(net, links);
+  const auto queries = uniform_workload(net, kWorkload, Rng(12));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ & kMask];
+    benchmark::DoNotOptimize(router.route_lookahead(q.from, q.key));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouteCrescendoLookahead)->Arg(8192);
 
 void BM_RouteKandy(benchmark::State& state) {
-  const auto net = population(state.range(0), 4);
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
   Rng rng(13);
   const auto links = build_kandy(net, BucketChoice::kClosest, rng);
   const XorRouter router(net, links);
+  const auto queries = uniform_workload(net, kWorkload, rng);
+  std::size_t i = 0;
   for (auto _ : state) {
-    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
-    const NodeId key = net.space().wrap(rng());
-    benchmark::DoNotOptimize(router.route(from, key));
+    const Query& q = queries[i++ & kMask];
+    benchmark::DoNotOptimize(router.route(q.from, q.key));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouteKandy)->Arg(8192);
+
+/// Whole-workload batch through the QueryEngine in probe mode (the
+/// engine's fastest path: no path storage at all). One iteration routes
+/// kWorkload lookups; items/sec is lookup throughput at the configured
+/// --threads.
+void BM_BatchRouteCrescendo(benchmark::State& state) {
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
+  const auto links = build_crescendo(net);
+  const RingRouter router(net, links);
+  const QueryEngine engine(net);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(queries, router));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWorkload));
+}
+BENCHMARK(BM_BatchRouteCrescendo)->Arg(8192)->Arg(65536);
+
+/// Same batch in full mode (per-shard scratch route_into + level tallies):
+/// what the fig5-style benches pay per lookup.
+void BM_BatchRouteCrescendoFull(benchmark::State& state) {
+  const auto net = bench::bench_population(
+      static_cast<std::size_t>(state.range(0)), 4);
+  const auto links = build_crescendo(net);
+  const RingRouter router(net, links);
+  QueryEngine engine(net);
+  engine.set_level_tracking(true);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(queries, router));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWorkload));
+}
+BENCHMARK(BM_BatchRouteCrescendoFull)->Arg(8192);
 
 }  // namespace
 }  // namespace canon

@@ -141,10 +141,10 @@ Route CanCanRouter::route(std::uint32_t from, NodeId key) const {
           best = nb;
         }
       }
-      if (best != current) ++fallback_;
+      if (best != current) fallback_.fetch_add(1, std::memory_order_relaxed);
     }
     if (best == current) {
-      ++stuck_;
+      stuck_.fetch_add(1, std::memory_order_relaxed);
       r.ok = false;
       return r;
     }

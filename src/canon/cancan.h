@@ -16,6 +16,7 @@
 #ifndef CANON_CANON_CANCAN_H
 #define CANON_CANON_CANCAN_H
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -49,7 +50,10 @@ class CanCanNetwork {
 
 /// Staged greedy router over a CanCanNetwork (see file comment). Reports
 /// `stuck_count` across its lifetime: hops where no link improved the
-/// current stage's prefix match (a failed route).
+/// current stage's prefix match (a failed route). The counts are atomic so
+/// concurrent route() calls on one const router (batch QueryEngine fan-out)
+/// stay race-free; they are diagnostics, not part of the deterministic
+/// per-query results.
 class CanCanRouter {
  public:
   explicit CanCanRouter(const CanCanNetwork& network);
@@ -57,15 +61,19 @@ class CanCanRouter {
   Route route(std::uint32_t from, NodeId key) const;
 
   /// Routes that dead-ended (failed).
-  std::size_t stuck_count() const { return stuck_; }
+  std::size_t stuck_count() const {
+    return stuck_.load(std::memory_order_relaxed);
+  }
   /// Hops that needed the XOR-distance fallback (route still succeeded).
-  std::size_t fallback_count() const { return fallback_; }
+  std::size_t fallback_count() const {
+    return fallback_.load(std::memory_order_relaxed);
+  }
 
  private:
   const CanCanNetwork* network_;
   int max_hops_;
-  mutable std::size_t stuck_ = 0;
-  mutable std::size_t fallback_ = 0;
+  mutable std::atomic<std::size_t> stuck_{0};
+  mutable std::atomic<std::size_t> fallback_{0};
 };
 
 }  // namespace canon

@@ -221,47 +221,52 @@ GroupRouter::GroupRouter(const OverlayNetwork& net,
   }
 }
 
-Route GroupRouter::route(std::uint32_t from, NodeId key) const {
-  const IdSpace& space = net_->space();
-  const int target_group = groups_->responsible_group(key);
-  const NodeId target_gid =
-      groups_->groups()[static_cast<std::size_t>(target_group)].gid;
-  const std::uint32_t target = groups_->responsible(key);
+namespace {
 
-  Route r;
-  r.path.push_back(from);
+// Recorder-policy core shared by route()/route_into()/probe(), mirroring
+// the pattern in overlay/routing.cc: the recorder appends nodes entered
+// after `from` (or is a no-op for probe), and the core itself touches no
+// telemetry and no mutable state.
+template <typename Recorder>
+RouteProbe group_core(const OverlayNetwork& net, const GroupedOverlay& groups,
+                      const LinkTable& links, int max_hops, std::uint32_t from,
+                      NodeId key, Recorder&& record) {
+  const IdSpace& space = net.space();
+  const int target_group = groups.responsible_group(key);
+  const NodeId target_gid =
+      groups.groups()[static_cast<std::size_t>(target_group)].gid;
+  const std::uint32_t target = groups.responsible(key);
+
   std::uint32_t current = from;
-  for (int step = 0; step < max_hops_; ++step) {
+  int hops = 0;
+  for (int step = 0; step < max_hops; ++step) {
     if (current == target) {
-      r.ok = true;
-      return r;
+      return {current, hops, true};
     }
-    const NodeId cur_gid = groups_->gid_of_node(current);
+    const NodeId cur_gid = groups.gid_of_node(current);
     if (cur_gid == target_gid) {
       // Final intra-group hop over the dense group network.
-      if (links_->has_link(current, target)) {
-        r.path.push_back(target);
-        r.ok = true;
-        return r;
+      if (links.has_link(current, target)) {
+        record(target);
+        return {target, hops + 1, true};
       }
-      r.ok = false;
-      return r;
+      return {current, hops, false};
     }
     // Greedy on group distance, never overshooting the target group; ties
     // broken by clockwise ID progress toward the key.
     const std::uint64_t remaining_groups =
-        groups_->group_distance(cur_gid, target_gid);
+        groups.group_distance(cur_gid, target_gid);
     const std::uint64_t remaining_ids =
-        space.ring_distance(net_->id(current), key);
+        space.ring_distance(net.id(current), key);
     std::uint32_t best = current;
     std::uint64_t best_gcov = 0;
     std::uint64_t best_icov = 0;
-    for (const std::uint32_t nb : links_->neighbors(current)) {
+    for (const std::uint32_t nb : links.neighbors(current)) {
       const std::uint64_t gcov =
-          groups_->group_distance(cur_gid, groups_->gid_of_node(nb));
+          groups.group_distance(cur_gid, groups.gid_of_node(nb));
       if (gcov > remaining_groups) continue;  // overshoots the target group
       const std::uint64_t icov =
-          space.ring_distance(net_->id(current), net_->id(nb));
+          space.ring_distance(net.id(current), net.id(nb));
       if (gcov == 0 && icov > remaining_ids) continue;
       if (gcov > best_gcov || (gcov == best_gcov && icov > best_icov)) {
         best_gcov = gcov;
@@ -270,13 +275,43 @@ Route GroupRouter::route(std::uint32_t from, NodeId key) const {
       }
     }
     if (best == current) {
-      r.ok = false;
-      return r;
+      return {current, hops, false};
     }
     current = best;
-    r.path.push_back(current);
+    ++hops;
+    record(current);
   }
-  r.ok = false;
+  return {current, hops, false};
+}
+
+struct GroupNullRecorder {
+  void operator()(std::uint32_t) const {}
+};
+
+struct GroupPathRecorder {
+  std::vector<std::uint32_t>* path;
+  void operator()(std::uint32_t node) const { path->push_back(node); }
+};
+
+}  // namespace
+
+void GroupRouter::route_into(std::uint32_t from, NodeId key,
+                             Route& out) const {
+  out.path.clear();
+  out.path.push_back(from);
+  out.ok = group_core(*net_, *groups_, *links_, max_hops_, from, key,
+                      GroupPathRecorder{&out.path})
+               .ok;
+}
+
+RouteProbe GroupRouter::probe(std::uint32_t from, NodeId key) const {
+  return group_core(*net_, *groups_, *links_, max_hops_, from, key,
+                    GroupNullRecorder{});
+}
+
+Route GroupRouter::route(std::uint32_t from, NodeId key) const {
+  Route r;
+  route_into(from, key, r);
   return r;
 }
 

@@ -93,6 +93,13 @@ class GroupRouter {
 
   Route route(std::uint32_t from, NodeId key) const;
 
+  /// Allocation-free variants (see the hot-path contract in
+  /// overlay/routing.h): identical outcome, caller's buffer / no path.
+  /// Like route(), these touch no telemetry and are safe to call
+  /// concurrently on one const router.
+  void route_into(std::uint32_t from, NodeId key, Route& out) const;
+  RouteProbe probe(std::uint32_t from, NodeId key) const;
+
  private:
   const OverlayNetwork* net_;
   const GroupedOverlay* groups_;

@@ -1,0 +1,145 @@
+#include "overlay/query_engine.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace canon {
+
+std::vector<Query> generate_workload(
+    std::size_t count, const Rng& base,
+    const std::function<Query(Rng&, std::size_t)>& make) {
+  std::vector<Query> out(count);
+  parallel_for(count, kQueryGrain,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   Rng q = base.fork(i);
+                   out[i] = make(q, i);
+                 }
+               });
+  return out;
+}
+
+std::vector<Query> uniform_workload(const OverlayNetwork& net,
+                                    std::size_t count, const Rng& base) {
+  const std::size_t n = net.size();
+  const IdSpace& space = net.space();
+  return generate_workload(count, base, [&](Rng& rng, std::size_t) {
+    Query q;
+    q.from = static_cast<std::uint32_t>(rng.uniform(n));
+    q.key = space.wrap(rng());
+    return q;
+  });
+}
+
+void QueryStats::merge(const QueryStats& other) {
+  hops.merge(other.hops);
+  cost.merge(other.cost);
+  if (other.hops_by_level.size() > hops_by_level.size()) {
+    hops_by_level.resize(other.hops_by_level.size(), 0);
+  }
+  for (std::size_t l = 0; l < other.hops_by_level.size(); ++l) {
+    hops_by_level[l] += other.hops_by_level[l];
+  }
+  queries += other.queries;
+  failures += other.failures;
+  total_hops += other.total_hops;
+}
+
+QueryEngine::QueryEngine(const OverlayNetwork& net)
+    : net_(&net),
+      batches_counter_(telemetry::maybe_counter("query_engine.batches")),
+      queries_counter_(telemetry::maybe_counter("query_engine.queries")),
+      hops_counter_(telemetry::maybe_counter("query_engine.hops")),
+      failures_counter_(telemetry::maybe_counter("query_engine.failures")) {}
+
+QueryStats QueryEngine::run_batch(std::span<const Query> queries,
+                                  const RouteIntoFn& route_into,
+                                  const ProbeFn& probe,
+                                  std::vector<RouteProbe>* per_query) const {
+  const std::size_t n = queries.size();
+  const std::size_t shards = (n + kQueryGrain - 1) / kQueryGrain;
+  if (per_query) per_query->assign(n, RouteProbe{});
+
+  // Probe mode: terminal-only routing, no path materialized anywhere.
+  // Anything that must see the hop-by-hop path disables it.
+  const bool use_probe =
+      probe && !cost_ && !level_tracking_ && sink_ == nullptr;
+
+  std::vector<QueryStats> per_shard(shards);
+  const auto run_shard = [&](std::size_t s) {
+    QueryStats& stats = per_shard[s];
+    Route scratch;  // one buffer per shard, capacity reused across queries
+    const std::size_t begin = s * kQueryGrain;
+    const std::size_t end = std::min(n, begin + kQueryGrain);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Query& q = queries[i];
+      RouteProbe p;
+      if (use_probe) {
+        p = probe(q.from, q.key);
+      } else {
+        route_into(q.from, q.key, scratch);
+        p = RouteProbe{scratch.terminal(), scratch.hops(), scratch.ok};
+        if (level_tracking_) {
+          for (std::size_t j = 0; j + 1 < scratch.path.size(); ++j) {
+            const int level =
+                net_->lca_level(scratch.path[j], scratch.path[j + 1]);
+            if (level < 0) continue;
+            if (static_cast<std::size_t>(level) >= stats.hops_by_level.size()) {
+              stats.hops_by_level.resize(static_cast<std::size_t>(level) + 1,
+                                         0);
+            }
+            ++stats.hops_by_level[static_cast<std::size_t>(level)];
+          }
+        }
+        if (cost_ && scratch.ok) stats.cost.add(path_cost(scratch, cost_));
+        if (sink_) {
+          const std::uint64_t trace_id = sink_->begin_lookup(q.from, q.key);
+          for (std::size_t j = 0; j + 1 < scratch.path.size(); ++j) {
+            telemetry::HopRecord hop;
+            hop.lookup = trace_id;
+            hop.from = scratch.path[j];
+            hop.to = scratch.path[j + 1];
+            hop.hop_index = static_cast<int>(j);
+            hop.level = net_->lca_level(scratch.path[j], scratch.path[j + 1]);
+            sink_->on_hop(hop);
+          }
+          sink_->end_lookup(trace_id, scratch.ok, scratch.terminal());
+        }
+      }
+      ++stats.queries;
+      stats.total_hops += static_cast<std::uint64_t>(p.hops);
+      if (p.ok) {
+        stats.hops.add(p.hops);
+      } else {
+        ++stats.failures;
+      }
+      if (per_query) (*per_query)[i] = p;
+    }
+  };
+
+  if (sink_) {
+    // A sink observes one global event stream: keep workload order.
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  } else {
+    // grain 1: shard s of the index range IS query-shard s, so the
+    // partition (and with it every accumulation order below) is the same
+    // at every thread count.
+    parallel_for(shards, 1, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) run_shard(s);
+    });
+  }
+
+  QueryStats out;
+  for (const QueryStats& s : per_shard) out.merge(s);
+
+  // Telemetry flush: aggregate only, on the calling thread, after the
+  // barrier — no Counter is ever touched inside a shard.
+  if (batches_counter_) batches_counter_->inc();
+  if (queries_counter_) queries_counter_->inc(out.queries);
+  if (hops_counter_) hops_counter_->inc(out.total_hops);
+  if (failures_counter_) failures_counter_->inc(out.failures);
+  return out;
+}
+
+}  // namespace canon

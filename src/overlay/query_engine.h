@@ -1,0 +1,169 @@
+// Batch query engine: the lookup-phase counterpart of the parallel
+// construction pipeline (docs/PERFORMANCE.md).
+//
+// The evaluation fires 10^3..10^5 lookups per (nodes, levels) cell. The
+// engine runs such a workload in three deterministic steps:
+//
+//   1. The workload itself is pre-generated from forked RNG streams:
+//      query i draws from base.fork(i), so the (from, key) array is a pure
+//      function of (network, seed) at every thread count.
+//   2. Routing fans out over fixed shards of kQueryGrain queries via
+//      parallel_for on a shared *read-only* router, using the
+//      allocation-free hot paths (route_into reusing one scratch Route per
+//      shard, or probe() when nobody needs paths).
+//   3. Results accumulate into per-shard QueryStats merged in fixed shard
+//      order 0..S-1 after the barrier — float summation order is therefore
+//      identical at every thread count, making every derived figure
+//      byte-identical serial vs. parallel.
+//
+// Telemetry contract: the hot paths touch no telemetry (see
+// overlay/routing.h). The engine tallies hops/failures into per-shard
+// scratch and flushes the aggregate to the `query_engine.*` counters on
+// the calling thread after the merge; a plain telemetry::Counter is never
+// shared across shards. Attaching a trace sink (set_trace) forces the
+// whole batch onto one thread, since sinks observe a global event order.
+#ifndef CANON_OVERLAY_QUERY_ENGINE_H
+#define CANON_OVERLAY_QUERY_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "overlay/metrics.h"
+#include "overlay/overlay_network.h"
+#include "overlay/routing.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace canon {
+
+/// One lookup of a batch workload.
+struct Query {
+  std::uint32_t from = 0;  ///< source node index
+  NodeId key = 0;          ///< target key
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// Pre-generates `count` queries, query i drawn from `base.fork(i)` by
+/// `make(rng, i)`. Parallelized over fixed shards; the result depends only
+/// on (base, make), never on the thread count.
+std::vector<Query> generate_workload(
+    std::size_t count, const Rng& base,
+    const std::function<Query(Rng&, std::size_t)>& make);
+
+/// The standard uniform workload: source uniform over nodes, key uniform
+/// over the ID space (the draw order within each forked stream matches the
+/// figure benches: source first, then key).
+std::vector<Query> uniform_workload(const OverlayNetwork& net,
+                                    std::size_t count, const Rng& base);
+
+/// Aggregated outcome of one batch. Mirrors what the serial benches
+/// accumulated by hand: `hops` and `cost` summarize OK queries only
+/// (failed routes historically never entered the figure Summaries), while
+/// `total_hops` / `hops_by_level` count every hop taken, so
+/// sum(hops_by_level) == total_hops whenever level tracking is on.
+struct QueryStats {
+  Summary hops;  ///< hop count per OK query
+  Summary cost;  ///< path cost per OK query (iff a HopCost is set)
+  std::vector<std::uint64_t> hops_by_level;  ///< index l = hops at LCA depth l
+  std::uint64_t queries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t total_hops = 0;
+
+  std::uint64_t ok() const { return queries - failures; }
+
+  /// Folds `other` in; shard merging calls this in fixed shard order.
+  void merge(const QueryStats& other);
+};
+
+/// See the file comment. One engine per overlay; routers are passed per
+/// run() call and only read.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const OverlayNetwork& net);
+
+  /// Adds per-query path cost to QueryStats::cost (disables probe mode:
+  /// costs need the hop-by-hop path). Pass nullptr to clear.
+  void set_cost(HopCost cost) { cost_ = std::move(cost); }
+
+  /// Tallies hops by the LCA depth of their endpoints into
+  /// QueryStats::hops_by_level (disables probe mode).
+  void set_level_tracking(bool on) { level_tracking_ = on; }
+
+  /// Attaches a sink receiving the familiar begin/on_hop/end event stream
+  /// for every query. Forces the batch onto the calling thread in workload
+  /// order. Engine-emitted HopRecords carry from/to/hop_index/level;
+  /// `candidates` is left 0 (the engine has no link table — use a router's
+  /// own set_trace for candidate counts). nullptr detaches.
+  void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
+
+  /// Routes one query into the caller's buffer; must be safe to call
+  /// concurrently on shared state (the hot-path contract).
+  using RouteIntoFn =
+      std::function<void(std::uint32_t, NodeId, Route&)>;
+  /// Terminal-only variant; pass nullptr when the router has none.
+  using ProbeFn = std::function<RouteProbe(std::uint32_t, NodeId)>;
+
+  /// Runs the batch through any router exposing the route_into/probe hot
+  /// paths (RingRouter, XorRouter, GroupRouter). When `per_query` is given
+  /// it receives one RouteProbe per query, in workload order.
+  template <typename Router>
+  QueryStats run(std::span<const Query> queries, const Router& router,
+                 std::vector<RouteProbe>* per_query = nullptr) const {
+    return run_batch(
+        queries,
+        [&router](std::uint32_t from, NodeId key, Route& out) {
+          router.route_into(from, key, out);
+        },
+        [&router](std::uint32_t from, NodeId key) {
+          return router.probe(from, key);
+        },
+        per_query);
+  }
+
+  /// Same, through RingRouter's lookahead variant.
+  QueryStats run_lookahead(std::span<const Query> queries,
+                           const RingRouter& router,
+                           std::vector<RouteProbe>* per_query = nullptr) const {
+    return run_batch(
+        queries,
+        [&router](std::uint32_t from, NodeId key, Route& out) {
+          router.route_lookahead_into(from, key, out);
+        },
+        [&router](std::uint32_t from, NodeId key) {
+          return router.probe_lookahead(from, key);
+        },
+        per_query);
+  }
+
+  /// The generic core. Probe mode (no path recorded at all) is used iff
+  /// `probe` is non-null and nothing needs paths: no cost fn, no level
+  /// tracking, no sink. Routers exposing only route() fit via
+  ///   [&](auto f, auto k, Route& out) { out = router.route(f, k); }
+  /// with a null probe.
+  QueryStats run_batch(std::span<const Query> queries,
+                       const RouteIntoFn& route_into, const ProbeFn& probe,
+                       std::vector<RouteProbe>* per_query = nullptr) const;
+
+ private:
+  const OverlayNetwork* net_;
+  HopCost cost_;
+  bool level_tracking_ = false;
+  telemetry::RouteTraceSink* sink_ = nullptr;
+  telemetry::Counter* batches_counter_;
+  telemetry::Counter* queries_counter_;
+  telemetry::Counter* hops_counter_;
+  telemetry::Counter* failures_counter_;
+};
+
+/// Queries per shard: one lookup costs ~1µs at 64K nodes, so 256 amortize
+/// the shard claim while a 4000-trial cell still yields ~16 shards.
+inline constexpr std::size_t kQueryGrain = 256;
+
+}  // namespace canon
+
+#endif  // CANON_OVERLAY_QUERY_ENGINE_H

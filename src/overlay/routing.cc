@@ -1,6 +1,7 @@
 #include "overlay/routing.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace canon {
 
@@ -14,27 +15,199 @@ int hop_guard(const OverlayNetwork& net) {
   return 4 * net.space().bits() + 16;
 }
 
-/// Shared epilogue for every route() exit (success, stuck, hop guard):
-/// stamps the outcome, bumps the route/hop/failure counters, and closes
-/// the trace.
-void finish_route(Route& r, bool ok, telemetry::Counter* routes,
-                  telemetry::Counter* hops, telemetry::Counter* failures,
-                  telemetry::RouteTraceSink* sink, std::uint64_t trace_id,
-                  std::uint32_t terminal) {
-  r.ok = ok;
-  if (routes) {
-    routes->inc();
-    hops->inc(static_cast<std::uint64_t>(r.hops()));
-    if (!ok) failures->inc();
-  }
-  if (sink) sink->end_lookup(trace_id, ok, terminal);
-}
-
 /// NodeIds of `links`' neighbors of `node`, read from the CSR inline-id
 /// array when the table captured it, else nullptr (caller falls back to
 /// per-candidate net lookups — tables finalized without ids).
 const NodeId* inline_ids_or_null(const LinkTable& links, std::uint32_t node) {
   return links.has_inline_ids() ? links.neighbor_ids(node).data() : nullptr;
+}
+
+// The greedy loops below are shared by every routing entry point through a
+// recorder policy: route()/route_into() pass a recorder that appends each
+// hop to a path vector, probe() passes a no-op recorder and the loop
+// degrades to pure hop counting. The cores touch no telemetry and no
+// mutable router state, so they are safe to run concurrently on one const
+// router — the batch QueryEngine's fan-out relies on that.
+
+struct NullRecorder {
+  void operator()(std::uint32_t) const {}
+};
+
+struct PathRecorder {
+  std::vector<std::uint32_t>* path;
+  void operator()(std::uint32_t node) const { path->push_back(node); }
+};
+
+/// Greedy clockwise core. Records every node entered after `from`;
+/// returns terminal/hops/ok.
+template <typename Recorder>
+RouteProbe ring_core(const OverlayNetwork& net, const LinkTable& links,
+                     int max_hops, std::uint32_t from, NodeId key,
+                     Recorder&& record) {
+  const IdSpace& space = net.space();
+  std::uint32_t current = from;
+  int hops = 0;
+  for (int step = 0; step < max_hops; ++step) {
+    const std::uint64_t remaining = space.ring_distance(net.id(current), key);
+    // Choose the neighbor that covers the most clockwise distance without
+    // overshooting the key. The scan reads only the contiguous NodeId
+    // array; the winner's index is fetched once afterwards.
+    std::size_t best_j = kNoCandidate;
+    std::uint64_t best_covered = 0;
+    const NodeId cur_id = net.id(current);
+    const auto neighbors = links.neighbors(current);
+    const NodeId* nb_ids = inline_ids_or_null(links, current);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const NodeId nb_id = nb_ids ? nb_ids[j] : net.id(neighbors[j]);
+      const std::uint64_t covered = space.ring_distance(cur_id, nb_id);
+      if (covered <= remaining && covered > best_covered) {
+        best_covered = covered;
+        best_j = j;
+      }
+    }
+    const std::uint32_t best =
+        best_j == kNoCandidate ? current : neighbors[best_j];
+    if (best == current) {
+      return {current, hops, current == net.responsible(key)};
+    }
+    current = best;
+    ++hops;
+    record(current);
+  }
+  // Hop guard exceeded: structurally broken table.
+  return {current, hops, false};
+}
+
+/// Greedy-with-lookahead core (Symphony §3.1): commits to the whole best
+/// 2-step plan, recording one or two nodes per iteration.
+template <typename Recorder>
+RouteProbe ring_lookahead_core(const OverlayNetwork& net,
+                               const LinkTable& links, int max_hops,
+                               std::uint32_t from, NodeId key,
+                               Recorder&& record) {
+  const IdSpace& space = net.space();
+  std::uint32_t current = from;
+  int hops = 0;
+  for (int step = 0; step < max_hops; ++step) {
+    const NodeId cur_id = net.id(current);
+    const std::uint64_t remaining = space.ring_distance(cur_id, key);
+    // Evaluate all 1-step and 2-step plans that never overshoot and commit
+    // to the whole plan with the smallest final remaining distance.
+    std::uint32_t best_v = current;
+    std::uint32_t best_w = current;  // == best_v for 1-step plans
+    std::uint64_t best_final = remaining;
+    const auto neighbors = links.neighbors(current);
+    const NodeId* nb_ids = inline_ids_or_null(links, current);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const std::uint32_t v = neighbors[j];
+      const NodeId v_id = nb_ids ? nb_ids[j] : net.id(v);
+      const std::uint64_t covered1 = space.ring_distance(cur_id, v_id);
+      if (covered1 == 0 || covered1 > remaining) continue;
+      const std::uint64_t after1 = remaining - covered1;
+      if (after1 < best_final) {
+        best_final = after1;
+        best_v = v;
+        best_w = v;
+      }
+      const auto second = links.neighbors(v);
+      const NodeId* second_ids = inline_ids_or_null(links, v);
+      for (std::size_t k = 0; k < second.size(); ++k) {
+        const NodeId w_id = second_ids ? second_ids[k] : net.id(second[k]);
+        const std::uint64_t covered2 = space.ring_distance(v_id, w_id);
+        if (covered2 == 0 || covered2 > after1) continue;
+        const std::uint64_t after2 = after1 - covered2;
+        if (after2 < best_final) {
+          best_final = after2;
+          best_v = v;
+          best_w = second[k];
+        }
+      }
+    }
+    if (best_v == current) {
+      return {current, hops, current == net.responsible(key)};
+    }
+    record(best_v);
+    ++hops;
+    if (best_w != best_v) {
+      record(best_w);
+      ++hops;
+    }
+    current = best_w;
+  }
+  return {current, hops, false};
+}
+
+/// Greedy XOR-distance core.
+template <typename Recorder>
+RouteProbe xor_core(const OverlayNetwork& net, const LinkTable& links,
+                    int max_hops, std::uint32_t from, NodeId key,
+                    Recorder&& record) {
+  const IdSpace& space = net.space();
+  std::uint32_t current = from;
+  int hops = 0;
+  for (int step = 0; step < max_hops; ++step) {
+    const std::uint64_t remaining = space.xor_distance(net.id(current), key);
+    std::size_t best_j = kNoCandidate;
+    std::uint64_t best_remaining = remaining;
+    const auto neighbors = links.neighbors(current);
+    const NodeId* nb_ids = inline_ids_or_null(links, current);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const NodeId nb_id = nb_ids ? nb_ids[j] : net.id(neighbors[j]);
+      const std::uint64_t d = space.xor_distance(nb_id, key);
+      if (d < best_remaining) {
+        best_remaining = d;
+        best_j = j;
+      }
+    }
+    const std::uint32_t best =
+        best_j == kNoCandidate ? current : neighbors[best_j];
+    if (best == current) {
+      return {current, hops, current == net.xor_closest(key)};
+    }
+    current = best;
+    ++hops;
+    record(current);
+  }
+  return {current, hops, false};
+}
+
+/// Resets `out` (keeping its capacity) and stamps the probe result of a
+/// path-recording core run onto it.
+void begin_route(Route& out, std::uint32_t from) {
+  out.path.clear();
+  out.path.push_back(from);
+  out.ok = false;
+}
+
+/// Telemetry epilogue of the single-query route() paths: bumps the
+/// route/hop/failure counters and, when a sink is attached, replays the
+/// completed path as begin/on_hop*/end events. The replayed records are
+/// field-identical to what the pre-refactor inline emission produced: a
+/// hop's `candidates` is the out-degree of its `from` node and its level
+/// the endpoints' LCA depth, both recomputable from the path.
+void finish_route(const Route& r, NodeId key, const OverlayNetwork& net,
+                  const LinkTable& links, telemetry::Counter* routes,
+                  telemetry::Counter* hops, telemetry::Counter* failures,
+                  telemetry::RouteTraceSink* sink) {
+  if (routes) {
+    routes->inc();
+    hops->inc(static_cast<std::uint64_t>(r.hops()));
+    if (!r.ok) failures->inc();
+  }
+  if (!sink) return;
+  const std::uint64_t trace_id = sink->begin_lookup(r.source(), key);
+  for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+    telemetry::HopRecord hop;
+    hop.lookup = trace_id;
+    hop.from = r.path[i];
+    hop.to = r.path[i + 1];
+    hop.hop_index = static_cast<int>(i);
+    hop.level = net.lca_level(r.path[i], r.path[i + 1]);
+    hop.candidates =
+        static_cast<std::uint32_t>(links.neighbors(r.path[i]).size());
+    sink->on_hop(hop);
+  }
+  sink->end_lookup(trace_id, r.ok, r.terminal());
 }
 
 }  // namespace
@@ -54,129 +227,43 @@ RingRouter::RingRouter(const OverlayNetwork& net, const LinkTable& links)
   }
 }
 
+void RingRouter::route_into(std::uint32_t from, NodeId key, Route& out) const {
+  begin_route(out, from);
+  out.ok =
+      ring_core(*net_, *links_, max_hops_, from, key, PathRecorder{&out.path})
+          .ok;
+}
+
+RouteProbe RingRouter::probe(std::uint32_t from, NodeId key) const {
+  return ring_core(*net_, *links_, max_hops_, from, key, NullRecorder{});
+}
+
 Route RingRouter::route(std::uint32_t from, NodeId key) const {
-  const IdSpace& space = net_->space();
   Route r;
-  r.path.push_back(from);
-  std::uint32_t current = from;
-  const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
-  for (int step = 0; step < max_hops_; ++step) {
-    const std::uint64_t remaining = space.ring_distance(net_->id(current), key);
-    // Choose the neighbor that covers the most clockwise distance without
-    // overshooting the key. The scan reads only the contiguous NodeId
-    // array; the winner's index is fetched once afterwards.
-    std::size_t best_j = kNoCandidate;
-    std::uint64_t best_covered = 0;
-    const NodeId cur_id = net_->id(current);
-    const auto neighbors = links_->neighbors(current);
-    const NodeId* nb_ids = inline_ids_or_null(*links_, current);
-    for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      const NodeId nb_id = nb_ids ? nb_ids[j] : net_->id(neighbors[j]);
-      const std::uint64_t covered = space.ring_distance(cur_id, nb_id);
-      if (covered <= remaining && covered > best_covered) {
-        best_covered = covered;
-        best_j = j;
-      }
-    }
-    const std::uint32_t best =
-        best_j == kNoCandidate ? current : neighbors[best_j];
-    if (best == current) {
-      finish_route(r, current == net_->responsible(key), routes_counter_,
-                   hops_counter_, failures_counter_, sink_, trace_id, current);
-      return r;
-    }
-    if (sink_) {
-      telemetry::HopRecord hop;
-      hop.lookup = trace_id;
-      hop.from = current;
-      hop.to = best;
-      hop.hop_index = step;
-      hop.level = net_->lca_level(current, best);
-      hop.candidates = static_cast<std::uint32_t>(neighbors.size());
-      sink_->on_hop(hop);
-    }
-    current = best;
-    r.path.push_back(current);
-  }
-  // Hop guard exceeded: structurally broken table.
-  finish_route(r, false, routes_counter_, hops_counter_, failures_counter_,
-               sink_, trace_id, current);
+  route_into(from, key, r);
+  finish_route(r, key, *net_, *links_, routes_counter_, hops_counter_,
+               failures_counter_, sink_);
   return r;
 }
 
+void RingRouter::route_lookahead_into(std::uint32_t from, NodeId key,
+                                      Route& out) const {
+  begin_route(out, from);
+  out.ok = ring_lookahead_core(*net_, *links_, max_hops_, from, key,
+                               PathRecorder{&out.path})
+               .ok;
+}
+
+RouteProbe RingRouter::probe_lookahead(std::uint32_t from, NodeId key) const {
+  return ring_lookahead_core(*net_, *links_, max_hops_, from, key,
+                             NullRecorder{});
+}
+
 Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
-  const IdSpace& space = net_->space();
   Route r;
-  r.path.push_back(from);
-  std::uint32_t current = from;
-  const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
-  for (int step = 0; step < max_hops_; ++step) {
-    const NodeId cur_id = net_->id(current);
-    const std::uint64_t remaining = space.ring_distance(cur_id, key);
-    // Evaluate all 1-step and 2-step plans that never overshoot and commit
-    // to the whole plan with the smallest final remaining distance.
-    std::uint32_t best_v = current;
-    std::uint32_t best_w = current;  // == best_v for 1-step plans
-    std::uint64_t best_final = remaining;
-    const auto neighbors = links_->neighbors(current);
-    const NodeId* nb_ids = inline_ids_or_null(*links_, current);
-    for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      const std::uint32_t v = neighbors[j];
-      const NodeId v_id = nb_ids ? nb_ids[j] : net_->id(v);
-      const std::uint64_t covered1 = space.ring_distance(cur_id, v_id);
-      if (covered1 == 0 || covered1 > remaining) continue;
-      const std::uint64_t after1 = remaining - covered1;
-      if (after1 < best_final) {
-        best_final = after1;
-        best_v = v;
-        best_w = v;
-      }
-      const auto second = links_->neighbors(v);
-      const NodeId* second_ids = inline_ids_or_null(*links_, v);
-      for (std::size_t k = 0; k < second.size(); ++k) {
-        const NodeId w_id = second_ids ? second_ids[k] : net_->id(second[k]);
-        const std::uint64_t covered2 = space.ring_distance(v_id, w_id);
-        if (covered2 == 0 || covered2 > after1) continue;
-        const std::uint64_t after2 = after1 - covered2;
-        if (after2 < best_final) {
-          best_final = after2;
-          best_v = v;
-          best_w = second[k];
-        }
-      }
-    }
-    if (best_v == current) {
-      finish_route(r, current == net_->responsible(key), routes_counter_,
-                   hops_counter_, failures_counter_, sink_, trace_id, current);
-      return r;
-    }
-    if (sink_) {
-      telemetry::HopRecord hop;
-      hop.lookup = trace_id;
-      hop.from = current;
-      hop.to = best_v;
-      hop.hop_index = r.hops();
-      hop.level = net_->lca_level(current, best_v);
-      hop.candidates = static_cast<std::uint32_t>(neighbors.size());
-      sink_->on_hop(hop);
-      if (best_w != best_v) {
-        telemetry::HopRecord hop2;
-        hop2.lookup = trace_id;
-        hop2.from = best_v;
-        hop2.to = best_w;
-        hop2.hop_index = r.hops() + 1;
-        hop2.level = net_->lca_level(best_v, best_w);
-        hop2.candidates =
-            static_cast<std::uint32_t>(links_->neighbors(best_v).size());
-        sink_->on_hop(hop2);
-      }
-    }
-    r.path.push_back(best_v);
-    if (best_w != best_v) r.path.push_back(best_w);
-    current = best_w;
-  }
-  finish_route(r, false, routes_counter_, hops_counter_, failures_counter_,
-               sink_, trace_id, current);
+  route_lookahead_into(from, key, r);
+  finish_route(r, key, *net_, *links_, routes_counter_, hops_counter_,
+               failures_counter_, sink_);
   return r;
 }
 
@@ -195,48 +282,22 @@ XorRouter::XorRouter(const OverlayNetwork& net, const LinkTable& links)
   }
 }
 
+void XorRouter::route_into(std::uint32_t from, NodeId key, Route& out) const {
+  begin_route(out, from);
+  out.ok =
+      xor_core(*net_, *links_, max_hops_, from, key, PathRecorder{&out.path})
+          .ok;
+}
+
+RouteProbe XorRouter::probe(std::uint32_t from, NodeId key) const {
+  return xor_core(*net_, *links_, max_hops_, from, key, NullRecorder{});
+}
+
 Route XorRouter::route(std::uint32_t from, NodeId key) const {
-  const IdSpace& space = net_->space();
   Route r;
-  r.path.push_back(from);
-  std::uint32_t current = from;
-  const std::uint64_t trace_id = sink_ ? sink_->begin_lookup(from, key) : 0;
-  for (int step = 0; step < max_hops_; ++step) {
-    const std::uint64_t remaining = space.xor_distance(net_->id(current), key);
-    std::size_t best_j = kNoCandidate;
-    std::uint64_t best_remaining = remaining;
-    const auto neighbors = links_->neighbors(current);
-    const NodeId* nb_ids = inline_ids_or_null(*links_, current);
-    for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      const NodeId nb_id = nb_ids ? nb_ids[j] : net_->id(neighbors[j]);
-      const std::uint64_t d = space.xor_distance(nb_id, key);
-      if (d < best_remaining) {
-        best_remaining = d;
-        best_j = j;
-      }
-    }
-    const std::uint32_t best =
-        best_j == kNoCandidate ? current : neighbors[best_j];
-    if (best == current) {
-      finish_route(r, current == net_->xor_closest(key), routes_counter_,
-                   hops_counter_, failures_counter_, sink_, trace_id, current);
-      return r;
-    }
-    if (sink_) {
-      telemetry::HopRecord hop;
-      hop.lookup = trace_id;
-      hop.from = current;
-      hop.to = best;
-      hop.hop_index = step;
-      hop.level = net_->lca_level(current, best);
-      hop.candidates = static_cast<std::uint32_t>(neighbors.size());
-      sink_->on_hop(hop);
-    }
-    current = best;
-    r.path.push_back(current);
-  }
-  finish_route(r, false, routes_counter_, hops_counter_, failures_counter_,
-               sink_, trace_id, current);
+  route_into(from, key, r);
+  finish_route(r, key, *net_, *links_, routes_counter_, hops_counter_,
+               failures_counter_, sink_);
   return r;
 }
 

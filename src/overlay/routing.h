@@ -32,6 +32,40 @@ struct Route {
   std::uint32_t terminal() const { return path.back(); }
 };
 
+/// Terminal-only outcome of a routed query: what probe-mode routing
+/// returns, and what route_into/route imply hop-for-hop. For the same
+/// (from, key) on the same structure, probe() and route() agree on every
+/// field.
+struct RouteProbe {
+  std::uint32_t terminal = 0;  ///< node the query stopped at
+  int hops = 0;                ///< forwarding steps taken
+  bool ok = false;             ///< reached the correct destination
+
+  friend bool operator==(const RouteProbe&, const RouteProbe&) = default;
+};
+
+// Hot-path contract shared by RingRouter / XorRouter (and GroupRouter in
+// canon/proximity.h):
+//
+// * route(from, key)          — allocates a fresh Route, bumps the router's
+//                               telemetry counters and emits trace-sink
+//                               events. The single-query convenience path.
+// * route_into(from, key, r)  — identical path/ok result written into the
+//                               caller's Route, reusing its capacity. No
+//                               telemetry, no trace events: safe to call
+//                               concurrently from many threads on one
+//                               const router (the batch QueryEngine's full
+//                               mode).
+// * probe(from, key)          — hop count + terminal only, no path storage
+//                               at all. Same concurrency guarantee (the
+//                               QueryEngine's mode when nobody needs
+//                               paths).
+//
+// Callers of route_into/probe own their telemetry: the QueryEngine
+// accumulates per-shard tallies and flushes them after its merge barrier
+// (telemetry::Counter is a plain uint64_t and must never be shared across
+// shards).
+
 /// Greedy clockwise routing for the Chord/Crescendo/Symphony families.
 class RingRouter {
  public:
@@ -46,8 +80,16 @@ class RingRouter {
   /// and takes the first step of the best 2-step plan (Symphony, §3.1).
   Route route_lookahead(std::uint32_t from, NodeId key) const;
 
+  /// Allocation-free variants: see the hot-path contract above.
+  void route_into(std::uint32_t from, NodeId key, Route& out) const;
+  void route_lookahead_into(std::uint32_t from, NodeId key, Route& out) const;
+  RouteProbe probe(std::uint32_t from, NodeId key) const;
+  RouteProbe probe_lookahead(std::uint32_t from, NodeId key) const;
+
   /// Attaches a trace sink receiving per-hop events (hierarchy level,
   /// candidates evaluated) for every subsequent route; nullptr detaches.
+  /// Only route()/route_lookahead() emit events; the *_into/probe hot
+  /// paths never do.
   void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
 
  private:
@@ -68,6 +110,10 @@ class XorRouter {
   /// Routes by strictly decreasing XOR distance to `key`. Route::ok is set
   /// iff the terminal node is the global XOR-closest node to the key.
   Route route(std::uint32_t from, NodeId key) const;
+
+  /// Allocation-free variants: see the hot-path contract above.
+  void route_into(std::uint32_t from, NodeId key, Route& out) const;
+  RouteProbe probe(std::uint32_t from, NodeId key) const;
 
   /// Attaches a trace sink (see RingRouter::set_trace).
   void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }

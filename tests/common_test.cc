@@ -225,6 +225,50 @@ TEST(Summary, MergeMatchesCombined) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(Summary, MergeEmptyIsIdentity) {
+  // empty ⊕ empty stays empty
+  Summary a;
+  a.merge(Summary{});
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.min()));
+
+  // empty ⊕ full adopts the full side exactly (shard 0 of a batch may be
+  // the only one with samples)
+  Summary full;
+  for (const double x : {3.0, 1.0, 4.0}) full.add(x);
+  a.merge(full);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), full.mean());
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.variance(), full.variance());
+
+  // full ⊕ empty is a no-op
+  Summary b = full;
+  b.merge(Summary{});
+  EXPECT_EQ(b.count(), full.count());
+  EXPECT_DOUBLE_EQ(b.sum(), full.sum());
+  EXPECT_DOUBLE_EQ(b.min(), full.min());
+  EXPECT_DOUBLE_EQ(b.max(), full.max());
+}
+
+TEST(Summary, MergePropagatesMinMax) {
+  // The merged extrema must equal the extrema of the union, wherever the
+  // min/max samples land across the two halves.
+  Summary lo;
+  Summary hi;
+  for (const double x : {5.0, -2.0, 7.0}) lo.add(x);
+  for (const double x : {100.0, 0.5}) hi.add(x);
+  lo.merge(hi);
+  EXPECT_DOUBLE_EQ(lo.min(), -2.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 100.0);
+
+  Summary sequential;
+  for (const double x : {5.0, -2.0, 7.0, 100.0, 0.5}) sequential.add(x);
+  EXPECT_DOUBLE_EQ(lo.mean(), sequential.mean());
+  EXPECT_DOUBLE_EQ(lo.sum(), sequential.sum());
+}
+
 TEST(Histogram, CountsAndQuantiles) {
   Histogram h;
   h.add(1, 3);
