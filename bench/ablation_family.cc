@@ -2,21 +2,22 @@
 // flat originals — degree, hops and routing success for Cacophony,
 // nondeterministic Crescendo, Kandy (both merge policies) and Can-Can.
 //
-// Each system routes its own pre-generated workload (forked off the shared
-// experiment RNG) through the batch QueryEngine; hop means cover
-// successful routes.
+// The Canon variants go through the family registry: one build + one
+// make_router per row, no hand-wired router types. The flat originals
+// route directly — they run over a separate single-level population, which
+// is outside the registry's hierarchical-net conventions. Each system
+// routes its own pre-generated workload (forked off the shared experiment
+// RNG) through the batch QueryEngine; hop means cover successful routes.
 #include <iostream>
 
 #include "bench/bench_util.h"
-#include "canon/cacophony.h"
-#include "canon/cancan.h"
 #include "canon/kandy.h"
-#include "canon/nondet_crescendo.h"
 #include "common/table.h"
 #include "dht/can.h"
 #include "dht/kademlia.h"
 #include "dht/nondet_chord.h"
 #include "dht/symphony.h"
+#include "overlay/family_registry.h"
 #include "overlay/population.h"
 #include "overlay/query_engine.h"
 #include "overlay/routing.h"
@@ -32,6 +33,11 @@ struct Row {
   double success = 0;
 };
 
+Row from_stats(std::string name, double degree, const QueryStats& st) {
+  return Row{std::move(name), degree, st.hops.mean(),
+             static_cast<double>(st.ok()) / static_cast<double>(st.queries)};
+}
+
 /// Routes a fresh workload (forked off `rng`, which advances by one draw)
 /// through the engine on any router exposing the route_into/probe hot
 /// paths.
@@ -40,12 +46,10 @@ Row measure(const std::string& name, double degree, const Router& router,
             const OverlayNetwork& net, std::uint64_t trials, Rng& rng) {
   const QueryEngine engine(net);
   const auto queries = uniform_workload(net, trials, rng.fork(rng()));
-  const QueryStats st = engine.run(queries, router);
-  return Row{name, degree, st.hops.mean(),
-             static_cast<double>(st.ok()) / static_cast<double>(st.queries)};
+  return from_stats(name, degree, engine.run(queries, router));
 }
 
-/// Same for routers that only expose route() (CAN family): full mode via a
+/// Same for routers that only expose route() (flat CAN): full mode via a
 /// per-query Route assignment, no probe.
 template <typename Router>
 Row measure_via_route(const std::string& name, double degree,
@@ -59,8 +63,18 @@ Row measure_via_route(const std::string& name, double degree,
         out = router.route(from, key);
       },
       nullptr);
-  return Row{name, degree, st.hops.mean(),
-             static_cast<double>(st.ok()) / static_cast<double>(st.queries)};
+  return from_stats(name, degree, st);
+}
+
+/// A Canon-variant row over an already-built table, routed through the
+/// registry's batch wrapper for `family`.
+Row measure_family(const std::string& name, std::string_view family,
+                   const OverlayNetwork& net, const LinkTable& links,
+                   std::uint64_t trials, Rng& rng) {
+  const QueryEngine engine(net);
+  const auto router = registry::family(family).make_router(net, links);
+  const auto queries = uniform_workload(net, trials, rng.fork(rng()));
+  return from_stats(name, links.mean_degree(), router.run(engine, queries));
 }
 
 }  // namespace
@@ -85,6 +99,14 @@ int main(int argc, char** argv) {
   Rng flat_rng(seed);
   const auto flat = make_population(flat_spec, flat_rng);
 
+  // Canon variant rows build through their registry entry (drawing from
+  // the same shared rng stream the hand-wired blocks used).
+  const auto canon_row = [&](const std::string& name,
+                             std::string_view family) {
+    const LinkTable links = registry::family(family).build(net, rng);
+    return measure_family(name, family, net, links, trials, rng);
+  };
+
   std::vector<Row> rows;
   {
     const auto links = build_symphony(flat, rng);
@@ -92,43 +114,28 @@ int main(int argc, char** argv) {
     rows.push_back(
         measure("Symphony (flat)", links.mean_degree(), r, flat, trials, rng));
   }
-  {
-    const auto links = build_cacophony(net, rng);
-    const RingRouter r(net, links);
-    rows.push_back(
-        measure("Cacophony", links.mean_degree(), r, net, trials, rng));
-  }
+  rows.push_back(canon_row("Cacophony", "cacophony"));
   {
     const auto links = build_nondet_chord(flat, rng);
     const RingRouter r(flat, links);
     rows.push_back(measure("Nondet Chord (flat)", links.mean_degree(), r,
                            flat, trials, rng));
   }
-  {
-    const auto links = build_nondet_crescendo(net, rng);
-    const RingRouter r(net, links);
-    rows.push_back(measure("Nondet Crescendo", links.mean_degree(), r, net,
-                           trials, rng));
-  }
+  rows.push_back(canon_row("Nondet Crescendo", "nondet_crescendo"));
   {
     const auto links = build_kademlia(flat, BucketChoice::kClosest, rng);
     const XorRouter r(flat, links);
     rows.push_back(measure("Kademlia (flat)", links.mean_degree(), r, flat,
                            trials, rng));
   }
+  rows.push_back(canon_row("Kandy (frugal merge)", "kandy"));
   {
-    const auto links =
-        build_kandy(net, BucketChoice::kClosest, rng, MergePolicy::kFrugal);
-    const XorRouter r(net, links);
-    rows.push_back(measure("Kandy (frugal merge)", links.mean_degree(), r,
-                           net, trials, rng));
-  }
-  {
+    // The literal-merge variant is not a registry family of its own; build
+    // it directly and route through the kandy entry's XOR wrapper.
     const auto links =
         build_kandy(net, BucketChoice::kClosest, rng, MergePolicy::kLiteral);
-    const XorRouter r(net, links);
-    rows.push_back(measure("Kandy (literal merge)", links.mean_degree(), r,
-                           net, trials, rng));
+    rows.push_back(measure_family("Kandy (literal merge)", "kandy", net,
+                                  links, trials, rng));
   }
   {
     const auto can = build_can(flat);
@@ -137,12 +144,7 @@ int main(int argc, char** argv) {
                                      can.links.mean_degree(), r, flat, trials,
                                      rng));
   }
-  {
-    const CanCanNetwork cancan(net);
-    const CanCanRouter r(cancan);
-    rows.push_back(measure_via_route("Can-Can", cancan.links().mean_degree(),
-                                     r, net, trials, rng));
-  }
+  rows.push_back(canon_row("Can-Can", "cancan"));
 
   TextTable table({"system", "mean degree", "mean hops", "success"});
   for (const auto& row : rows) {

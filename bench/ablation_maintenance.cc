@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "audit/auditor.h"
+#include "overlay/family_registry.h"
 #include "bench/bench_util.h"
 #include "common/table.h"
 #include "hierarchy/generators.h"
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
   // Structural audit of the incrementally grown network.
   const LinkTable links = dyn.link_table();
   const audit::AuditReport audit_report =
-      audit::StructureAuditor(dyn.network(), links).audit("crescendo");
+      registry::audit_family("crescendo", dyn.network(), links);
   std::cout << "structural audit: " << audit_report.summary() << "\n";
   run.report().set_series(bench::table_to_json(table));
   run.report().set_param("audit", audit_report.to_json());

@@ -139,6 +139,13 @@ class BenchRun {
     return v;
   }
 
+  /// True iff the flag was passed at all. Does not record anything: use it
+  /// to gate an optional flag's u64/f64 call so an unused feature leaves
+  /// the report's params byte-identical to a build that predates the flag.
+  bool present(const char* name) const {
+    return flag_present(argc_, argv_, name);
+  }
+
   /// Prints the bench header plus one line with every recorded param, so
   /// a pasted output snippet is reproducible on its own.
   void header(const char* title, const char* paper_ref) const {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """End-to-end check for the machine-readable output schemas.
 
-Three modes:
+Four modes:
 
   check_json_schema.py <bench_binary>
     Runs a bench binary with small parameters and --json, then asserts the
@@ -22,7 +22,16 @@ Three modes:
     and asserts (a) the doctor's --json report carries a schema-valid
     audit object per family, (b) the churn journal is schema-valid JSONL
     with contiguous sequence numbers and a clean final audit_snapshot,
-    and (c) replaying the journal reproduces the healthy verdict.
+    and (c) replaying the journal reproduces the healthy verdict. Also
+    runs one family with --crash-rate and asserts the resilience object
+    and the crash events journaled by the fault plan.
+
+  check_json_schema.py --resilient <ablation_resilience_binary>
+    Runs the resilience ablation with small parameters and asserts the
+    per-row schema: success rates in [0, 1], zero-fault rows lossless and
+    retry-free (the empty-plan identity), and success monotone
+    non-increasing in the kill fraction within each (family, leaf_set)
+    series (fail_fraction's kill sets are nested).
 """
 import json
 import os
@@ -31,13 +40,15 @@ import sys
 import tempfile
 
 JOURNAL_TYPES = {"join", "leave", "repair", "lookup_failure",
-                 "audit_snapshot"}
+                 "audit_snapshot", "crash", "revive"}
 JOURNAL_REQUIRED = {
     "join": {"id", "path", "lookup_hops", "size"},
     "leave": {"id", "size"},
     "repair": {"cause", "pivot", "nodes_updated"},
     "lookup_failure": {"from", "key", "hops"},
     "audit_snapshot": {"size", "checks", "violations"},
+    "crash": {"node", "id", "at"},
+    "revive": {"node", "id", "at"},
 }
 
 
@@ -138,6 +149,74 @@ def check_doctor(binary):
         subprocess.run([binary, f"--replay={journal}"],
                        check=True, stdout=subprocess.DEVNULL)
 
+        # Fault phase: --crash-rate adds a resilience object per family row
+        # and journals every injected crash.
+        fault_report = os.path.join(tmp, "faults.json")
+        fault_journal = os.path.join(tmp, "faults.jsonl")
+        subprocess.run(
+            [binary, "--family=crescendo", "--nodes=256", "--levels=3",
+             "--crash-rate=0.3", "--trials=300",
+             f"--json={fault_report}", f"--journal-out={fault_journal}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(fault_report) as f:
+            doc = json.load(f)
+        res = doc["series"][0]["resilience"]
+        for key in ("crash_rate", "crashed", "attempted", "ok",
+                    "success_rate", "availability", "retries",
+                    "fallback_hops", "skipped_dead_source"):
+            assert key in res, f"resilience object missing {key!r}"
+        assert 0.0 <= res["success_rate"] <= 1.0
+        with open(fault_journal) as f:
+            events = [json.loads(ln) for ln in f.read().splitlines() if ln]
+        assert events, "fault journal is empty"
+        crashes = 0
+        for i, ev in enumerate(events):
+            assert ev["seq"] == i, f"fault journal seq {ev['seq']} != {i}"
+            assert ev["type"] in JOURNAL_TYPES
+            missing = JOURNAL_REQUIRED[ev["type"]] - set(ev)
+            assert not missing, f"{ev['type']} event missing {missing}"
+            crashes += ev["type"] == "crash"
+        assert crashes == res["crashed"], (
+            f"journal has {crashes} crash events, "
+            f"report says {res['crashed']}")
+
+
+def check_resilient(binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "report.json")
+        subprocess.run(
+            [binary, "--nodes=1024", "--trials=500", f"--json={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+    check_report_envelope(doc)
+    assert doc["bench"] == "ablation_resilience"
+    series = {}  # (family, leaf_set or None) -> [(fail_pct, success)]
+    for row in doc["series"]:
+        for key in ("family", "fail_pct", "attempted", "ok", "success",
+                    "availability", "retries", "fallback_hops"):
+            assert key in row, f"series row missing {key!r}"
+        assert 0.0 <= row["success"] <= 1.0, row
+        assert 0.0 <= row["availability"] <= 1.0, row
+        if row["fail_pct"] == 0:
+            # Empty-plan identity: nothing dead, nothing dropped, so the
+            # resilient engine must be lossless and retry-free.
+            assert row["success"] == 1.0, row
+            assert row["retries"] == 0, row
+            assert row["fallback_hops"] == 0, row
+            assert row["skipped_dead_source"] == 0, row
+        series.setdefault((row["family"], row.get("leaf_set")),
+                          []).append((row["fail_pct"], row["success"]))
+    assert len(series) == 13 + 4, "expected 13 family + 4 leaf-set series"
+    for (family, leaf), points in series.items():
+        points.sort()
+        for (_, prev), (_, cur) in zip(points, points[1:]):
+            # Small slack: deeper kill sets also shrink the attempted pool
+            # and reassign live responsibility, so single lookups can flip.
+            assert cur <= prev + 0.02, (
+                f"success not monotone for {family} (leaf_set={leaf}): "
+                f"{points}")
+
 
 def strip_timing(doc):
     """Removes the only report fields allowed to vary with --threads."""
@@ -165,6 +244,8 @@ def check_threads_invariant(binary, extra_args):
 def main():
     if sys.argv[1] == "--doctor":
         check_doctor(sys.argv[2])
+    elif sys.argv[1] == "--resilient":
+        check_resilient(sys.argv[2])
     elif sys.argv[1] == "--threads-invariant":
         check_threads_invariant(sys.argv[2], sys.argv[3:])
     else:

@@ -11,6 +11,13 @@
 // breakdown tallied by the engine: hops at level l stay inside a common
 // level-l domain (deep = local). The breakdown always sums to the cell's
 // total hop count.
+//
+// --crash-rate=f additionally fail-stops that fraction of nodes
+// (FaultPlan::fail_fraction) and routes through the failure-aware ring
+// core; cells then carry success rates instead of asserting zero
+// failures. The flag is recorded in params (and changes the report) only
+// when passed — a flagless run's output is byte-identical to the
+// pre-resilience figure.
 #include <iostream>
 
 #include "bench/bench_util.h"
@@ -18,6 +25,7 @@
 #include "common/table.h"
 #include "overlay/population.h"
 #include "overlay/query_engine.h"
+#include "overlay/resilient_routing.h"
 #include "overlay/routing.h"
 
 using namespace canon;
@@ -27,6 +35,8 @@ int main(int argc, char** argv) {
   const std::uint64_t min_n = run.u64("min-nodes", 1024);
   const std::uint64_t max_n = run.u64("max-nodes", 65536);
   const std::uint64_t trials = run.u64("trials", 4000);
+  const bool faulty = run.present("crash-rate");
+  const double crash_rate = faulty ? run.f64("crash-rate", 0.0) : 0.0;
   run.header("Figure 5: average routing hops",
              "avg #hops vs n, levels 1-5, fanout 10, Zipf(1.25)");
 
@@ -42,14 +52,24 @@ int main(int argc, char** argv) {
       spec.hierarchy.fanout = 10;
       const auto net = make_population(spec, rng);
       const auto links = build_crescendo(net);
-      const RingRouter router(net, links);
       QueryEngine engine(net);
       engine.set_level_tracking(run.json_enabled());
       const auto queries = uniform_workload(net, trials, rng);
-      const QueryStats stats = engine.run(queries, router);
-      if (stats.failures != 0) {
-        std::cerr << "routing failure (broken structure)\n";
-        return 1;
+      QueryStats stats;
+      ResilientStats rstats;
+      if (faulty) {
+        const ResilientRingRouter router(net, links);
+        const FaultPlan plan =
+            FaultPlan::fail_fraction(net.size(), crash_rate, run.seed);
+        rstats = engine.run_resilient(queries, router, plan);
+        stats = rstats.base;
+      } else {
+        const RingRouter router(net, links);
+        stats = engine.run(queries, router);
+        if (stats.failures != 0) {
+          std::cerr << "routing failure (broken structure)\n";
+          return 1;
+        }
       }
       row.push_back(TextTable::num(stats.hops.mean(), 2));
       if (run.json_enabled()) {
@@ -63,6 +83,14 @@ int main(int argc, char** argv) {
           by_level.push_back(telemetry::JsonValue(c));
         }
         cell.set("hops_by_level", std::move(by_level));
+        if (faulty) {
+          cell.set("success", telemetry::JsonValue(rstats.success_rate()));
+          cell.set("retries", telemetry::JsonValue(rstats.retries));
+          cell.set("fallback_hops",
+                   telemetry::JsonValue(rstats.fallback_hops));
+          cell.set("skipped_dead_source",
+                   telemetry::JsonValue(rstats.skipped_dead_source));
+        }
         run.report().add_row(std::move(cell));
       }
     }

@@ -29,6 +29,13 @@ inline const char* flag_raw(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+/// True iff "--name" or "--name=value" appears in argv at all. Lets a
+/// binary keep an optional flag out of its recorded params (and so out of
+/// the JSON report) unless the caller actually passed it.
+inline bool flag_present(int argc, char** argv, const char* name) {
+  return flag_raw(argc, argv, name) != nullptr;
+}
+
 /// Parses "--name=value" from argv; returns `fallback` if absent.
 inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
                               std::uint64_t fallback) {

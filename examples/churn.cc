@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "audit/auditor.h"
+#include "overlay/family_registry.h"
 #include "bench/bench_util.h"
 #include "canon/crescendo.h"
 #include "common/rng.h"
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
   std::uint64_t ops = 0;
   const auto audit_now = [&] {
     const LinkTable table = dht.link_table();
-    return audit::StructureAuditor(dht.network(), table).audit("crescendo");
+    return registry::audit_family("crescendo", dht.network(), table);
   };
   const auto snapshot = [&] {
     const audit::AuditReport report = audit_now();

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "audit/auditor.h"
+#include "overlay/family_registry.h"
 #include "bench/bench_util.h"
 #include "canon/crescendo.h"
 #include "common/rng.h"
@@ -44,8 +45,8 @@ int main(int argc, char** argv) {
 
   // Structural audit before applying load: a drifted structure would make
   // every load number below meaningless.
-  const audit::StructureAuditor auditor(net, links);
-  const audit::AuditReport audit_report = auditor.audit("crescendo");
+  const audit::AuditReport audit_report =
+      registry::audit_family("crescendo", net, links);
   std::cout << "structural audit: " << audit_report.summary() << "\n\n";
   if (journal) {
     journal->audit_snapshot(net.size(), audit_report.total_checks(),
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t i = 0; i < net.size(); ++i) {
     if (rng.uniform(3) == 0) failures.kill(i);
   }
-  const ResilientRingRouter router(net, links, failures, /*leaf_set=*/8);
+  const ResilientRingRouter router(net, links, /*leaf_set=*/8);
   int ok = 0;
   const int kTrials = 5000;
   Summary hops;
@@ -100,7 +101,7 @@ int main(int argc, char** argv) {
     const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
     if (failures.dead(from)) continue;
     ++t;
-    const Route r = router.route(from, net.space().wrap(rng()));
+    const Route r = router.route(from, net.space().wrap(rng()), failures);
     ok += r.ok;
     if (r.ok) hops.add(r.hops());
   }

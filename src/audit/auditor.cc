@@ -17,25 +17,11 @@ namespace canon::audit {
 
 namespace {
 
-constexpr std::string_view kFamilies[] = {
-    "chord",           "symphony", "nondet_chord", "kademlia",
-    "can",             "crescendo", "clique_crescendo", "cacophony",
-    "nondet_crescendo", "kandy",    "cancan",       "chord_prox",
-    "crescendo_prox",
-};
-
 std::string hex_of(const OverlayNetwork& net, std::uint32_t node) {
   return id_to_hex(net.id(node), net.space().bits());
 }
 
 }  // namespace
-
-std::span<const std::string_view> family_names() { return kFamilies; }
-
-bool is_family(std::string_view family) {
-  return std::find(std::begin(kFamilies), std::end(kFamilies), family) !=
-         std::end(kFamilies);
-}
 
 std::uint64_t AuditReport::total_checks() const {
   std::uint64_t total = 0;
@@ -501,69 +487,49 @@ void StructureAuditor::check_group_cliques(AuditReport& r,
   count_checks(r, "group.clique", evaluated);
 }
 
-AuditReport StructureAuditor::audit(std::string_view family) const {
-  AuditReport r;
-  check_csr(r);
-  check_hierarchy(r);
-  constexpr int kAllLevels = std::numeric_limits<int>::max();
-
-  if (family == "chord") {
-    check_ring_closure(r, 0, 0);
-    check_chord_fingers(r, /*hierarchical=*/false);
-  } else if (family == "crescendo") {
-    check_ring_closure(r, 0, kAllLevels);
-    check_chord_fingers(r, /*hierarchical=*/true);
-  } else if (family == "clique_crescendo") {
-    check_ring_closure(r, 0, kAllLevels);
-    check_expected(r, build_clique_crescendo(*net_), "clique_crescendo.links");
-  } else if (family == "symphony" || family == "nondet_chord") {
-    check_ring_closure(r, 0, 0);
-  } else if (family == "cacophony" || family == "nondet_crescendo") {
-    check_ring_closure(r, 0, kAllLevels);
-  } else if (family == "kademlia") {
-    check_xor_buckets(r, /*hierarchical=*/false);
-  } else if (family == "kandy") {
-    check_xor_buckets(r, /*hierarchical=*/true);
-  } else if (family == "can") {
-    const ZoneTree tree(*net_, net_->ring().members());
-    const auto zones = extract_zones(tree, net_->ring().members());
-    check_zone_list(r, zones, 0);
-    check_can_links(r, tree, net_->ring().members(), 0, /*exact=*/true);
-  } else if (family == "cancan") {
-    const CanCanNetwork cc(*net_);
-    const DomainTree& dom = net_->domains();
-    for (int d = 0; d < dom.domain_count(); ++d) {
-      const auto& members = dom.domain(d).members;
-      const auto zones = extract_zones(cc.tree(d), members);
-      check_zone_list(r, zones, dom.domain(d).depth);
+void StructureAuditor::check_liveness(AuditReport& r,
+                                      const FailureSet& dead,
+                                      int leaf_set) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(net_->size());
+  std::uint64_t degree_checks = 0;
+  std::uint64_t leaf_checks = 0;
+  for (std::uint32_t m = 0; m < n; ++m) {
+    if (dead.dead(m)) continue;
+    ++degree_checks;
+    bool live_neighbor = false;
+    for (const std::uint32_t v : links_->neighbors(m)) {
+      if (!dead.dead(v)) {
+        live_neighbor = true;
+        break;
+      }
     }
-    // Every node keeps all CAN edges of its leaf domain's partition.
-    std::vector<std::vector<std::uint32_t>> leaf_members(
-        static_cast<std::size_t>(dom.domain_count()));
-    for (std::uint32_t m = 0; m < net_->size(); ++m) {
-      leaf_members[static_cast<std::size_t>(dom.domain_chain(m).back())]
-          .push_back(m);
+    if (!live_neighbor) {
+      add_violation(r, "live.degree", m, -1,
+                    "node " + hex_of(*net_, m) +
+                        " has no live neighbor left");
     }
-    for (int d = 0; d < dom.domain_count(); ++d) {
-      const auto& members = leaf_members[static_cast<std::size_t>(d)];
-      if (members.empty()) continue;
-      check_can_links(r, cc.tree(d), members, dom.domain(d).depth,
-                      /*exact=*/false);
+    if (leaf_set > 0) {
+      ++leaf_checks;
+      // Node indices are ascending by ID, so index order IS ring order.
+      bool live_successor = false;
+      for (int step = 1; step <= leaf_set; ++step) {
+        const std::uint32_t succ = (m + static_cast<std::uint32_t>(step)) % n;
+        if (succ == m) break;  // wrapped all the way around
+        if (!dead.dead(succ)) {
+          live_successor = true;
+          break;
+        }
+      }
+      if (!live_successor) {
+        add_violation(r, "live.leafset", m, -1,
+                      "no live successor within " +
+                          std::to_string(leaf_set) +
+                          " ring steps of node " + hex_of(*net_, m));
+      }
     }
-    check_expected(r, cc.links(), "cancan.links");
-  } else if (family == "chord_prox" || family == "crescendo_prox") {
-    const GroupedOverlay groups(*net_, ProximityConfig{}.target_group_size);
-    check_group_cliques(r, groups);
-    if (family == "crescendo_prox") {
-      // Below the root the structure is plain Crescendo; the top-level
-      // merge is group-based and not per-node ring-closed.
-      check_ring_closure(r, 1, kAllLevels);
-    }
-  } else {
-    throw std::invalid_argument("StructureAuditor::audit: unknown family '" +
-                                std::string(family) + "'");
   }
-  return r;
+  count_checks(r, "live.degree", degree_checks);
+  if (leaf_set > 0) count_checks(r, "live.leafset", leaf_checks);
 }
 
 }  // namespace canon::audit

@@ -11,8 +11,9 @@
 // LinkTable) pair and returns machine-readable Violation records — one per
 // failed assertion, carrying the check name, the offending node, the
 // hierarchy level, and a human-readable detail — instead of a bare bool.
-// `audit(family)` composes the batteries that the named construction
-// guarantees:
+// Which batteries a named construction guarantees is recorded in the
+// family registry (overlay/family_registry.h) — `registry::audit_family`
+// composes them:
 //
 //   battery          invariant                               families
 //   ---------------  --------------------------------------  -----------------
@@ -33,6 +34,9 @@
 //   zone.containment node's primary zone contains its ID
 //   can.face         CAN face-neighbor links present         can, cancan (leaf)
 //   group.clique     intra-group cliques complete            *_prox
+//   live.degree /    under an injected FailureSet: every     any (on demand)
+//   live.leafset     live node keeps a live neighbor and a
+//                    live global-ring successor in reach
 //
 // Checks count toward the `audit.checks` / `audit.violations` telemetry
 // counters when a MetricsRegistry is installed. Audits are read-only and
@@ -49,6 +53,7 @@
 #include <vector>
 
 #include "dht/can.h"
+#include "overlay/fault_plan.h"
 #include "overlay/link_table.h"
 #include "overlay/overlay_network.h"
 #include "telemetry/json_writer.h"
@@ -89,20 +94,11 @@ struct AuditReport {
   std::string summary() const;
 };
 
-/// The 13 buildable family names `StructureAuditor::audit` (and
-/// canon_doctor --family) accept.
-std::span<const std::string_view> family_names();
-bool is_family(std::string_view family);
-
 class StructureAuditor {
  public:
   /// `links` must be finalized (throws std::invalid_argument otherwise);
   /// both references are borrowed for the auditor's lifetime.
   StructureAuditor(const OverlayNetwork& net, const LinkTable& links);
-
-  /// Runs every battery the named family guarantees (table in the file
-  /// comment). Throws std::invalid_argument for an unknown family.
-  AuditReport audit(std::string_view family) const;
 
   // Individual batteries. Each appends to `r.violations`, bumps its entry
   // in `r.checks`, and feeds the audit.* telemetry counters.
@@ -161,6 +157,15 @@ class StructureAuditor {
   /// Intra-group clique completeness for the proximity families
   /// ("group.clique").
   void check_group_cliques(AuditReport& r, const GroupedOverlay& groups) const;
+
+  /// Liveness under an injected FailureSet ("live.degree": every live
+  /// node keeps at least one live link-table neighbor; "live.leafset",
+  /// when leaf_set > 0: a live successor exists within `leaf_set` steps
+  /// clockwise on the global ring — the reach of the leaf-set fallback).
+  /// Structure-only: says whether recovery *can* work, not whether a
+  /// particular route does.
+  void check_liveness(AuditReport& r, const FailureSet& dead,
+                      int leaf_set) const;
 
  private:
   void add_violation(AuditReport& r, std::string check, std::uint32_t node,

@@ -76,6 +76,46 @@ class CanCanRouter {
   mutable std::atomic<std::size_t> fallback_{0};
 };
 
+/// Failure-aware staged routing over a CanCanNetwork: the plain stage walk
+/// restricted to live neighbors, with per-stage zone takeover (a dead
+/// stage owner is replaced by the live stage member XOR-closest to the
+/// key — every stage domain contains the live source, so a takeover
+/// always exists) and the per-hop drop-retry ladder shared by the other
+/// resilient cores. Follows the hot-path contract of overlay/routing.h.
+class ResilientCanCanRouter {
+ public:
+  explicit ResilientCanCanRouter(const CanCanNetwork& network,
+                                 int retry_budget = kRetryBudget);
+
+  struct Scratch {
+    std::vector<std::uint32_t> banned;   ///< candidates dropped this hop
+    std::vector<std::uint32_t> visited;  ///< cycle guard (plain has it too)
+  };
+
+  /// ok iff the walk finished the root partition at the key's live owner.
+  /// Throws std::invalid_argument on a dead source.
+  ResilientProbe route_into(std::uint32_t from, NodeId key,
+                            const FailureSet& dead, DropRoller& drops,
+                            Scratch& scratch, Route& out) const;
+  ResilientProbe probe(std::uint32_t from, NodeId key, const FailureSet& dead,
+                       DropRoller& drops, Scratch& scratch) const;
+
+ private:
+  template <typename Recorder>
+  ResilientProbe core(std::uint32_t from, NodeId key, const FailureSet& dead,
+                      DropRoller& drops, Scratch& scratch,
+                      Recorder&& record) const;
+
+  /// The stage partition's key owner, or its live takeover within domain
+  /// `d` (see class comment).
+  std::uint32_t live_stage_owner(const ZoneTree& t, int d, NodeId key,
+                                 const FailureSet& dead) const;
+
+  const CanCanNetwork* network_;
+  int retry_budget_;
+  int max_hops_;
+};
+
 }  // namespace canon
 
 #endif  // CANON_CANON_CANCAN_H

@@ -315,4 +315,167 @@ Route GroupRouter::route(std::uint32_t from, NodeId key) const {
   return r;
 }
 
+namespace {
+
+bool in_list(const std::vector<std::uint32_t>& list, std::uint32_t node) {
+  return std::find(list.begin(), list.end(), node) != list.end();
+}
+
+}  // namespace
+
+ResilientGroupRouter::ResilientGroupRouter(const OverlayNetwork& net,
+                                           const GroupedOverlay& groups,
+                                           const LinkTable& links,
+                                           int retry_budget)
+    : net_(&net),
+      groups_(&groups),
+      links_(&links),
+      retry_budget_(retry_budget),
+      max_hops_(4 * net.space().bits() + 16) {
+  if (!links.finalized()) {
+    throw std::invalid_argument("ResilientGroupRouter: links not finalized");
+  }
+  if (retry_budget < 1) {
+    throw std::invalid_argument("ResilientGroupRouter: retry budget < 1");
+  }
+}
+
+std::uint32_t ResilientGroupRouter::live_responsible(
+    NodeId key, const FailureSet& dead) const {
+  const std::uint32_t structural = groups_->responsible(key);
+  if (!dead.dead(structural)) return structural;
+  // Node indices are ring positions (ascending-ID order): walk
+  // predecessors from the structural responsible until a live one.
+  const std::uint32_t n = static_cast<std::uint32_t>(net_->size());
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const std::uint32_t candidate = (structural + n - i) % n;
+    if (!dead.dead(candidate)) return candidate;
+  }
+  throw std::logic_error("live_responsible: everyone is dead");
+}
+
+template <typename Recorder>
+ResilientProbe ResilientGroupRouter::core(std::uint32_t from, NodeId key,
+                                          const FailureSet& dead,
+                                          DropRoller& drops, Scratch& scratch,
+                                          Recorder&& record) const {
+  if (dead.dead(from)) {
+    throw std::invalid_argument("ResilientGroupRouter: source is dead");
+  }
+  const IdSpace& space = net_->space();
+  const bool faults = dead.any() || drops.active();
+  const std::uint32_t target =
+      faults ? live_responsible(key, dead) : groups_->responsible(key);
+  const NodeId target_gid = groups_->gid_of_node(target);
+
+  std::uint32_t current = from;
+  int hops = 0;
+  int retries = 0;
+  int fallback_hops = 0;
+  for (int step = 0; step < max_hops_; ++step) {
+    if (current == target) return {current, hops, true, retries, fallback_hops};
+    const NodeId cur_gid = groups_->gid_of_node(current);
+    const std::uint64_t remaining_groups =
+        groups_->group_distance(cur_gid, target_gid);
+    const std::uint64_t remaining_ids =
+        space.ring_distance(net_->id(current), key);
+    scratch.banned.clear();
+    int attempts = retry_budget_;
+    for (;;) {  // per-hop retry ladder
+      std::uint32_t best = current;
+      bool final_hop = false;
+      bool via_fallback = false;
+      if (cur_gid == target_gid) {
+        // Final intra-group hop over the dense group network.
+        if (!links_->has_link(current, target)) {
+          return {current, hops, false, retries, fallback_hops};
+        }
+        best = target;
+        final_hop = true;
+      } else {
+        // Greedy on group distance, never overshooting the target group;
+        // ties broken by clockwise ID progress toward the key.
+        std::uint64_t best_gcov = 0;
+        std::uint64_t best_icov = 0;
+        for (const std::uint32_t nb : links_->neighbors(current)) {
+          const std::uint64_t gcov =
+              groups_->group_distance(cur_gid, groups_->gid_of_node(nb));
+          if (gcov > remaining_groups) continue;  // overshoots
+          const std::uint64_t icov =
+              space.ring_distance(net_->id(current), net_->id(nb));
+          if (gcov == 0 && icov > remaining_ids) continue;
+          if (faults && (dead.dead(nb) || in_list(scratch.banned, nb))) {
+            continue;
+          }
+          if (gcov > best_gcov || (gcov == best_gcov && icov > best_icov)) {
+            best_gcov = gcov;
+            best_icov = icov;
+            best = nb;
+          }
+        }
+        if (best == current && faults) {
+          // Sidestep: the live neighbor strictly closer to the target in
+          // (group distance, ID distance) lexicographic order — strictly
+          // decreasing, so fallback chains cannot cycle.
+          std::uint64_t best_gd = remaining_groups;
+          std::uint64_t best_idd = remaining_ids;
+          for (const std::uint32_t nb : links_->neighbors(current)) {
+            if (dead.dead(nb) || in_list(scratch.banned, nb)) continue;
+            const std::uint64_t gd =
+                groups_->group_distance(groups_->gid_of_node(nb), target_gid);
+            const std::uint64_t idd =
+                space.ring_distance(net_->id(nb), key);
+            if (gd < best_gd || (gd == best_gd && idd < best_idd)) {
+              best_gd = gd;
+              best_idd = idd;
+              best = nb;
+            }
+          }
+          via_fallback = best != current;
+        }
+      }
+      if (best == current) {
+        return {current, hops, false, retries, fallback_hops};  // stuck
+      }
+      if (drops.drop()) {
+        ++retries;
+        if (--attempts <= 0) {
+          return {current, hops, false, retries, fallback_hops};  // lost
+        }
+        // The clique hop has a single possible receiver: retransmit
+        // instead of banning it.
+        if (!final_hop) scratch.banned.push_back(best);
+        continue;
+      }
+      if (via_fallback) ++fallback_hops;
+      current = best;
+      ++hops;
+      record(current);
+      break;
+    }
+  }
+  return {current, hops, false, retries, fallback_hops};
+}
+
+ResilientProbe ResilientGroupRouter::route_into(std::uint32_t from, NodeId key,
+                                                const FailureSet& dead,
+                                                DropRoller& drops,
+                                                Scratch& scratch,
+                                                Route& out) const {
+  out.path.clear();
+  out.path.push_back(from);
+  out.ok = false;
+  const ResilientProbe p =
+      core(from, key, dead, drops, scratch, GroupPathRecorder{&out.path});
+  out.ok = p.ok;
+  return p;
+}
+
+ResilientProbe ResilientGroupRouter::probe(std::uint32_t from, NodeId key,
+                                           const FailureSet& dead,
+                                           DropRoller& drops,
+                                           Scratch& scratch) const {
+  return core(from, key, dead, drops, scratch, GroupNullRecorder{});
+}
+
 }  // namespace canon

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "overlay/fault_plan.h"
 #include "overlay/link_table.h"
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
@@ -104,6 +105,51 @@ class GroupRouter {
   const OverlayNetwork* net_;
   const GroupedOverlay* groups_;
   const LinkTable* links_;
+  int max_hops_;
+};
+
+/// Failure-aware two-phase group routing: the plain greedy walk on group
+/// distance restricted to live neighbors, aiming at the live responsible
+/// node (a dead responsible's duty falls to its closest live ring
+/// predecessor — the intra-group clique is "necessary even otherwise for
+/// replication and fault tolerance"). When no live neighbor makes plain
+/// greedy progress the query sidesteps to the live neighbor strictly
+/// closer to the target in (group distance, ID distance) lexicographic
+/// order, which cannot cycle. Dropped forwarding attempts retry the next
+/// candidate (the final clique hop retransmits to the same target), up to
+/// `retry_budget` per hop. Hot-path contract of overlay/routing.h.
+class ResilientGroupRouter {
+ public:
+  ResilientGroupRouter(const OverlayNetwork& net, const GroupedOverlay& groups,
+                       const LinkTable& links,
+                       int retry_budget = kRetryBudget);
+
+  struct Scratch {
+    std::vector<std::uint32_t> banned;  ///< candidates dropped this hop
+  };
+
+  /// ok iff the terminal is live_responsible(key). Throws
+  /// std::invalid_argument on a dead source.
+  ResilientProbe route_into(std::uint32_t from, NodeId key,
+                            const FailureSet& dead, DropRoller& drops,
+                            Scratch& scratch, Route& out) const;
+  ResilientProbe probe(std::uint32_t from, NodeId key, const FailureSet& dead,
+                       DropRoller& drops, Scratch& scratch) const;
+
+  /// The group-responsible node for `key`, or — when it is dead — its
+  /// closest live predecessor on the global ring.
+  std::uint32_t live_responsible(NodeId key, const FailureSet& dead) const;
+
+ private:
+  template <typename Recorder>
+  ResilientProbe core(std::uint32_t from, NodeId key, const FailureSet& dead,
+                      DropRoller& drops, Scratch& scratch,
+                      Recorder&& record) const;
+
+  const OverlayNetwork* net_;
+  const GroupedOverlay* groups_;
+  const LinkTable* links_;
+  int retry_budget_;
   int max_hops_;
 };
 

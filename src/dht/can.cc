@@ -255,4 +255,168 @@ Route CanRouter::route(std::uint32_t from, NodeId key) const {
   return r;
 }
 
+namespace {
+
+bool in_list(const std::vector<std::uint32_t>& list, std::uint32_t node) {
+  return std::find(list.begin(), list.end(), node) != list.end();
+}
+
+struct NullRecorder {
+  void operator()(std::uint32_t) const {}
+};
+
+struct PathRecorder {
+  std::vector<std::uint32_t>* path;
+  void operator()(std::uint32_t node) const { path->push_back(node); }
+};
+
+}  // namespace
+
+ResilientCanRouter::ResilientCanRouter(const OverlayNetwork& net,
+                                       const ZoneTree& tree,
+                                       const LinkTable& links,
+                                       int retry_budget)
+    : net_(&net),
+      tree_(&tree),
+      links_(&links),
+      retry_budget_(retry_budget),
+      max_hops_(4 * net.space().bits() + 16) {
+  if (!links.finalized()) {
+    throw std::invalid_argument("ResilientCanRouter: links not finalized");
+  }
+  if (retry_budget < 1) {
+    throw std::invalid_argument("ResilientCanRouter: retry budget < 1");
+  }
+}
+
+std::uint32_t ResilientCanRouter::live_owner(NodeId key,
+                                             const FailureSet& dead) const {
+  const std::uint32_t structural = tree_->owner_of(key);
+  if (!dead.dead(structural)) return structural;
+  const IdSpace& space = net_->space();
+  std::uint32_t best = RingView::kNone;
+  std::uint64_t best_d = 0;
+  for (std::uint32_t i = 0; i < net_->size(); ++i) {
+    if (dead.dead(i) || !tree_->contains(i)) continue;
+    const std::uint64_t d = space.xor_distance(net_->id(i), key);
+    if (best == RingView::kNone || d < best_d) {
+      best = i;
+      best_d = d;
+    }
+  }
+  if (best == RingView::kNone) {
+    throw std::logic_error("live_owner: everyone is dead");
+  }
+  return best;
+}
+
+template <typename Recorder>
+ResilientProbe ResilientCanRouter::core(std::uint32_t from, NodeId key,
+                                        const FailureSet& dead,
+                                        DropRoller& drops, Scratch& scratch,
+                                        Recorder&& record) const {
+  if (dead.dead(from)) {
+    throw std::invalid_argument("ResilientCanRouter: source is dead");
+  }
+  const IdSpace& space = net_->space();
+  const bool faults = dead.any() || drops.active();
+  const std::uint32_t target =
+      faults ? live_owner(key, dead) : tree_->owner_of(key);
+  std::uint32_t current = from;
+  int hops = 0;
+  int retries = 0;
+  int fallback_hops = 0;
+  scratch.visited.clear();
+  for (int step = 0; step < max_hops_; ++step) {
+    if (current == target) return {current, hops, true, retries, fallback_hops};
+    const int cur_match = tree_->match_len(current, key);
+    scratch.banned.clear();
+    int attempts = retry_budget_;
+    for (;;) {  // per-hop retry ladder
+      // Stage 1: the plain bit-fixing scan over live, unbanned neighbors.
+      std::uint32_t best = current;
+      int best_match = cur_match;
+      for (const std::uint32_t nb : links_->neighbors(current)) {
+        if (!tree_->contains(nb)) continue;
+        if (faults && (dead.dead(nb) || in_list(scratch.banned, nb) ||
+                       in_list(scratch.visited, nb))) {
+          continue;
+        }
+        const int m = tree_->match_len(nb, key);
+        if (m > best_match) {
+          best_match = m;
+          best = nb;
+        }
+      }
+      if (best == current) {
+        // Final hop: a neighbor that is the target itself (the key's zone
+        // may be a short empty-sibling block owned by an adjacent node).
+        for (const std::uint32_t nb : links_->neighbors(current)) {
+          if (!tree_->contains(nb) || nb != target) continue;
+          if (faults && in_list(scratch.banned, nb)) continue;
+          best = nb;
+          break;
+        }
+      }
+      bool via_fallback = false;
+      if (best == current && faults) {
+        // Stage 2: live-face fallback — an unvisited live neighbor
+        // strictly XOR-closer to the key.
+        std::uint64_t best_d = space.xor_distance(net_->id(current), key);
+        for (const std::uint32_t nb : links_->neighbors(current)) {
+          if (!tree_->contains(nb) || dead.dead(nb) ||
+              in_list(scratch.banned, nb) || in_list(scratch.visited, nb)) {
+            continue;
+          }
+          const std::uint64_t d = space.xor_distance(net_->id(nb), key);
+          if (d < best_d) {
+            best_d = d;
+            best = nb;
+          }
+        }
+        via_fallback = best != current;
+      }
+      if (best == current) {
+        return {current, hops, false, retries, fallback_hops};  // stuck
+      }
+      if (drops.drop()) {
+        scratch.banned.push_back(best);
+        ++retries;
+        if (--attempts <= 0) {
+          return {current, hops, false, retries, fallback_hops};  // lost
+        }
+        continue;
+      }
+      if (via_fallback) ++fallback_hops;
+      current = best;
+      ++hops;
+      record(current);
+      if (faults) scratch.visited.push_back(current);
+      break;
+    }
+  }
+  return {current, hops, false, retries, fallback_hops};
+}
+
+ResilientProbe ResilientCanRouter::route_into(std::uint32_t from, NodeId key,
+                                              const FailureSet& dead,
+                                              DropRoller& drops,
+                                              Scratch& scratch,
+                                              Route& out) const {
+  out.path.clear();
+  out.path.push_back(from);
+  out.ok = false;
+  const ResilientProbe p =
+      core(from, key, dead, drops, scratch, PathRecorder{&out.path});
+  out.ok = p.ok;
+  return p;
+}
+
+ResilientProbe ResilientCanRouter::probe(std::uint32_t from, NodeId key,
+                                         const FailureSet& dead,
+                                         DropRoller& drops,
+                                         Scratch& scratch) const {
+  return core(from, key, dead, drops, scratch, NullRecorder{});
+}
+
 }  // namespace canon

@@ -1,0 +1,71 @@
+#include "overlay/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/journal.h"
+
+namespace canon {
+
+void FaultPlan::crash(std::uint32_t node, std::uint64_t at) {
+  events_.push_back(FaultEvent{at, node, FaultEvent::Kind::kCrash});
+}
+
+void FaultPlan::revive(std::uint32_t node, std::uint64_t at) {
+  events_.push_back(FaultEvent{at, node, FaultEvent::Kind::kRevive});
+}
+
+void FaultPlan::set_drop(double probability, std::uint64_t seed) {
+  if (probability < 0 || probability >= 1) {
+    throw std::invalid_argument("FaultPlan: drop probability must be in [0,1)");
+  }
+  drop_probability_ = probability;
+  drop_seed_ = seed;
+}
+
+FailureSet FaultPlan::materialize(const OverlayNetwork& net,
+                                  telemetry::EventJournal* journal,
+                                  std::uint64_t until) const {
+  FailureSet out(net.size());
+  // Stable sort: events at the same virtual time apply in insertion order.
+  std::vector<std::size_t> order(events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return events_[a].at < events_[b].at;
+                   });
+  for (const std::size_t i : order) {
+    const FaultEvent& ev = events_[i];
+    if (ev.at > until) break;
+    if (ev.node >= net.size()) {
+      throw std::out_of_range("FaultPlan: event node out of range");
+    }
+    if (ev.kind == FaultEvent::Kind::kCrash) {
+      out.kill(ev.node);
+      if (journal) journal->crash(ev.node, net.id(ev.node), ev.at);
+    } else {
+      out.revive(ev.node);
+      if (journal) journal->revive(ev.node, net.id(ev.node), ev.at);
+    }
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::fail_fraction(std::size_t node_count, double fraction,
+                                   std::uint64_t seed) {
+  if (fraction < 0 || fraction >= 1) {
+    throw std::invalid_argument("fail_fraction: fraction must be in [0,1)");
+  }
+  FaultPlan plan;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    // One SplitMix64 draw per node, independent of the fraction: the kill
+    // decision thresholds the same hash, so kill sets nest (header).
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    const double u =
+        static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+    if (u < fraction) plan.crash(static_cast<std::uint32_t>(i));
+  }
+  return plan;
+}
+
+}  // namespace canon

@@ -46,6 +46,27 @@ void QueryStats::merge(const QueryStats& other) {
   total_hops += other.total_hops;
 }
 
+double ResilientStats::success_rate() const {
+  return base.queries == 0
+             ? 1.0
+             : static_cast<double>(base.ok()) /
+                   static_cast<double>(base.queries);
+}
+
+double ResilientStats::availability() const {
+  const std::uint64_t total = base.queries + skipped_dead_source;
+  return total == 0
+             ? 1.0
+             : static_cast<double>(base.ok()) / static_cast<double>(total);
+}
+
+void ResilientStats::merge(const ResilientStats& other) {
+  base.merge(other.base);
+  skipped_dead_source += other.skipped_dead_source;
+  retries += other.retries;
+  fallback_hops += other.fallback_hops;
+}
+
 QueryEngine::QueryEngine(const OverlayNetwork& net)
     : net_(&net),
       batches_counter_(telemetry::maybe_counter("query_engine.batches")),
@@ -80,32 +101,7 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
       } else {
         route_into(q.from, q.key, scratch);
         p = RouteProbe{scratch.terminal(), scratch.hops(), scratch.ok};
-        if (level_tracking_) {
-          for (std::size_t j = 0; j + 1 < scratch.path.size(); ++j) {
-            const int level =
-                net_->lca_level(scratch.path[j], scratch.path[j + 1]);
-            if (level < 0) continue;
-            if (static_cast<std::size_t>(level) >= stats.hops_by_level.size()) {
-              stats.hops_by_level.resize(static_cast<std::size_t>(level) + 1,
-                                         0);
-            }
-            ++stats.hops_by_level[static_cast<std::size_t>(level)];
-          }
-        }
-        if (cost_ && scratch.ok) stats.cost.add(path_cost(scratch, cost_));
-        if (sink_) {
-          const std::uint64_t trace_id = sink_->begin_lookup(q.from, q.key);
-          for (std::size_t j = 0; j + 1 < scratch.path.size(); ++j) {
-            telemetry::HopRecord hop;
-            hop.lookup = trace_id;
-            hop.from = scratch.path[j];
-            hop.to = scratch.path[j + 1];
-            hop.hop_index = static_cast<int>(j);
-            hop.level = net_->lca_level(scratch.path[j], scratch.path[j + 1]);
-            sink_->on_hop(hop);
-          }
-          sink_->end_lookup(trace_id, scratch.ok, scratch.terminal());
-        }
+        observe_route(q, scratch, stats);
       }
       ++stats.queries;
       stats.total_hops += static_cast<std::uint64_t>(p.hops);
@@ -132,14 +128,55 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
 
   QueryStats out;
   for (const QueryStats& s : per_shard) out.merge(s);
+  flush_batch_counters(out);
+  return out;
+}
 
+void QueryEngine::observe_route(const Query& q, const Route& route,
+                                QueryStats& stats) const {
+  if (level_tracking_) {
+    for (std::size_t j = 0; j + 1 < route.path.size(); ++j) {
+      const int level = net_->lca_level(route.path[j], route.path[j + 1]);
+      if (level < 0) continue;
+      if (static_cast<std::size_t>(level) >= stats.hops_by_level.size()) {
+        stats.hops_by_level.resize(static_cast<std::size_t>(level) + 1, 0);
+      }
+      ++stats.hops_by_level[static_cast<std::size_t>(level)];
+    }
+  }
+  if (cost_ && route.ok) stats.cost.add(path_cost(route, cost_));
+  if (sink_) {
+    const std::uint64_t trace_id = sink_->begin_lookup(q.from, q.key);
+    for (std::size_t j = 0; j + 1 < route.path.size(); ++j) {
+      telemetry::HopRecord hop;
+      hop.lookup = trace_id;
+      hop.from = route.path[j];
+      hop.to = route.path[j + 1];
+      hop.hop_index = static_cast<int>(j);
+      hop.level = net_->lca_level(route.path[j], route.path[j + 1]);
+      sink_->on_hop(hop);
+    }
+    sink_->end_lookup(trace_id, route.ok, route.terminal());
+  }
+}
+
+void QueryEngine::flush_batch_counters(const QueryStats& stats) const {
   // Telemetry flush: aggregate only, on the calling thread, after the
   // barrier — no Counter is ever touched inside a shard.
   if (batches_counter_) batches_counter_->inc();
-  if (queries_counter_) queries_counter_->inc(out.queries);
-  if (hops_counter_) hops_counter_->inc(out.total_hops);
-  if (failures_counter_) failures_counter_->inc(out.failures);
-  return out;
+  if (queries_counter_) queries_counter_->inc(stats.queries);
+  if (hops_counter_) hops_counter_->inc(stats.total_hops);
+  if (failures_counter_) failures_counter_->inc(stats.failures);
+}
+
+void QueryEngine::flush_resilient_counters(const ResilientStats& stats) const {
+  const auto bump = [](const char* name, std::uint64_t value) {
+    if (telemetry::Counter* c = telemetry::maybe_counter(name)) c->inc(value);
+  };
+  bump("query_engine.resilient_batches", 1);
+  bump("query_engine.resilient_retries", stats.retries);
+  bump("query_engine.resilient_fallback_hops", stats.fallback_hops);
+  bump("query_engine.resilient_skipped_sources", stats.skipped_dead_source);
 }
 
 }  // namespace canon

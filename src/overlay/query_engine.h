@@ -30,8 +30,12 @@
 #include <span>
 #include <vector>
 
+#include <algorithm>
+
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "overlay/fault_plan.h"
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
 #include "overlay/routing.h"
@@ -80,6 +84,33 @@ struct QueryStats {
   void merge(const QueryStats& other);
 };
 
+/// Outcome of one resilient batch: the plain QueryStats over attempted
+/// queries (dead sources are skipped, not failed — they never entered the
+/// network) plus the recovery-work tallies. With an empty FaultPlan,
+/// `base` is field-identical to what run() returns on the same workload.
+struct ResilientStats {
+  QueryStats base;  ///< attempted queries only
+  std::uint64_t skipped_dead_source = 0;
+  std::uint64_t retries = 0;        ///< dropped forwarding attempts retried
+  std::uint64_t fallback_hops = 0;  ///< hops taken via recovery paths
+
+  std::uint64_t attempted() const { return base.queries; }
+
+  /// ok / attempted (1.0 on an empty batch).
+  double success_rate() const;
+
+  /// ok / (attempted + skipped): a dead source counts against
+  /// availability even though it never issued the query.
+  double availability() const;
+
+  /// Folds `other` in; shard merging calls this in fixed shard order.
+  void merge(const ResilientStats& other);
+};
+
+/// Queries per shard: one lookup costs ~1µs at 64K nodes, so 256 amortize
+/// the shard claim while a 4000-trial cell still yields ~16 shards.
+inline constexpr std::size_t kQueryGrain = 256;
+
 /// See the file comment. One engine per overlay; routers are passed per
 /// run() call and only read.
 class QueryEngine {
@@ -100,6 +131,11 @@ class QueryEngine {
   /// `candidates` is left 0 (the engine has no link table — use a router's
   /// own set_trace for candidate counts). nullptr detaches.
   void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
+
+  /// Attaches an event journal: run_resilient records every crash/revive
+  /// its FaultPlan materializes (before any query routes). nullptr
+  /// detaches.
+  void set_journal(telemetry::EventJournal* journal) { journal_ = journal; }
 
   /// Routes one query into the caller's buffer; must be safe to call
   /// concurrently on shared state (the hot-path contract).
@@ -149,20 +185,118 @@ class QueryEngine {
                        const RouteIntoFn& route_into, const ProbeFn& probe,
                        std::vector<RouteProbe>* per_query = nullptr) const;
 
+  /// The resilient batch mode: materializes `plan` once (journaling its
+  /// crash/revive events when a journal is attached) and runs the batch
+  /// through a failure-aware router (ResilientRingRouter,
+  /// ResilientXorRouter, ResilientCanRouter, ResilientCanCanRouter,
+  /// ResilientGroupRouter — anything exposing the Scratch/route_into/probe
+  /// shape). Dead-source queries are skipped (per_query gets
+  /// {from, 0, false}); each attempted query i derives its drop stream
+  /// from plan.drop_seed() forked by i, so results — like the plain
+  /// batch's — are byte-identical at every thread count. The
+  /// query_engine.resilient_* counters are flushed only for a non-empty
+  /// plan, keeping empty-plan reports byte-identical to run()'s.
+  template <typename RRouter>
+  ResilientStats run_resilient(std::span<const Query> queries,
+                               const RRouter& router, const FaultPlan& plan,
+                               std::vector<RouteProbe>* per_query =
+                                   nullptr) const {
+    const FailureSet dead = plan.materialize(*net_, journal_);
+    return run_resilient_with(queries, router, dead, plan, per_query);
+  }
+
+  /// Same, over an already-materialized FailureSet (callers that audit or
+  /// journal the dead set themselves).
+  template <typename RRouter>
+  ResilientStats run_resilient_with(std::span<const Query> queries,
+                                    const RRouter& router,
+                                    const FailureSet& dead,
+                                    const FaultPlan& plan,
+                                    std::vector<RouteProbe>* per_query =
+                                        nullptr) const {
+    const std::size_t n = queries.size();
+    const std::size_t shards = (n + kQueryGrain - 1) / kQueryGrain;
+    if (per_query) per_query->assign(n, RouteProbe{});
+    const bool use_probe = !cost_ && !level_tracking_ && sink_ == nullptr;
+    const Rng drop_base(plan.drop_seed());
+    const double drop_p = plan.drop_probability();
+
+    std::vector<ResilientStats> per_shard(shards);
+    const auto run_shard = [&](std::size_t s) {
+      ResilientStats& stats = per_shard[s];
+      Route route_scratch;  // per-shard buffers, capacity reused
+      typename RRouter::Scratch scratch;
+      const std::size_t begin = s * kQueryGrain;
+      const std::size_t end = std::min(n, begin + kQueryGrain);
+      for (std::size_t i = begin; i < end; ++i) {
+        const Query& q = queries[i];
+        if (dead.dead(q.from)) {
+          ++stats.skipped_dead_source;
+          if (per_query) (*per_query)[i] = RouteProbe{q.from, 0, false};
+          continue;
+        }
+        DropRoller drops(drop_p, drop_base.fork(i));
+        ResilientProbe rp;
+        if (use_probe) {
+          rp = router.probe(q.from, q.key, dead, drops, scratch);
+        } else {
+          rp = router.route_into(q.from, q.key, dead, drops, scratch,
+                                 route_scratch);
+          observe_route(q, route_scratch, stats.base);
+        }
+        ++stats.base.queries;
+        stats.base.total_hops += static_cast<std::uint64_t>(rp.hops);
+        if (rp.ok) {
+          stats.base.hops.add(rp.hops);
+        } else {
+          ++stats.base.failures;
+        }
+        stats.retries += static_cast<std::uint64_t>(rp.retries);
+        stats.fallback_hops += static_cast<std::uint64_t>(rp.fallback_hops);
+        if (per_query) (*per_query)[i] = rp.to_probe();
+      }
+    };
+
+    if (sink_) {
+      for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+    } else {
+      parallel_for(shards, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) run_shard(s);
+      });
+    }
+
+    ResilientStats out;
+    for (const ResilientStats& s : per_shard) out.merge(s);
+    flush_batch_counters(out.base);
+    if (!plan.empty()) flush_resilient_counters(out);
+    return out;
+  }
+
  private:
+  /// The path-dependent tallies of full (non-probe) mode: level tracking,
+  /// path cost, trace replay. Shared by run_batch and run_resilient_with.
+  void observe_route(const Query& q, const Route& route,
+                     QueryStats& stats) const;
+
+  /// Post-merge flush of the query_engine.{batches,queries,hops,failures}
+  /// counters, on the calling thread.
+  void flush_batch_counters(const QueryStats& stats) const;
+
+  /// Post-merge flush of the query_engine.resilient_* counters. Looked up
+  /// lazily so the names never register — and never surface in metric
+  /// reports — unless a faulty batch actually ran.
+  void flush_resilient_counters(const ResilientStats& stats) const;
+
   const OverlayNetwork* net_;
   HopCost cost_;
   bool level_tracking_ = false;
   telemetry::RouteTraceSink* sink_ = nullptr;
+  telemetry::EventJournal* journal_ = nullptr;
   telemetry::Counter* batches_counter_;
   telemetry::Counter* queries_counter_;
   telemetry::Counter* hops_counter_;
   telemetry::Counter* failures_counter_;
 };
-
-/// Queries per shard: one lookup costs ~1µs at 64K nodes, so 256 amortize
-/// the shard claim while a 4000-trial cell still yields ~16 shards.
-inline constexpr std::size_t kQueryGrain = 256;
 
 }  // namespace canon
 

@@ -209,10 +209,10 @@ HierarchicalStore::MultiGetResult HierarchicalStore::get_many(
 GetResult HierarchicalStore::get_resilient(std::uint32_t origin, NodeId key,
                                             const FailureSet& failures,
                                             int leaf_set) {
-  const ResilientRingRouter router(*net_, *links_, failures, leaf_set);
+  const ResilientRingRouter router(*net_, *links_, leaf_set);
   GetResult result;
   result.route.path.push_back(origin);
-  const Route full = router.route(origin, key);
+  const Route full = router.route(origin, key, failures);
   for (std::size_t i = 0; i < full.path.size(); ++i) {
     const std::uint32_t m = full.path[i];
     if (i > 0) result.route.path.push_back(m);

@@ -81,6 +81,29 @@ std::uint64_t EventJournal::audit_snapshot(std::size_t size,
   return record("audit_snapshot", std::move(fields));
 }
 
+namespace {
+
+JsonValue fault_fields(std::uint32_t node, std::uint64_t id,
+                       std::uint64_t at) {
+  JsonValue fields = JsonValue::object();
+  fields.set("node", JsonValue(static_cast<std::int64_t>(node)));
+  fields.set("id", JsonValue(id));
+  fields.set("at", JsonValue(at));
+  return fields;
+}
+
+}  // namespace
+
+std::uint64_t EventJournal::crash(std::uint32_t node, std::uint64_t id,
+                                  std::uint64_t at) {
+  return record("crash", fault_fields(node, id, at));
+}
+
+std::uint64_t EventJournal::revive(std::uint32_t node, std::uint64_t id,
+                                   std::uint64_t at) {
+  return record("revive", fault_fields(node, id, at));
+}
+
 void EventJournal::flush() { os_->flush(); }
 
 std::vector<JsonValue> read_journal(std::istream& is) {

@@ -15,6 +15,7 @@
 //   DynamicCrescendo::set_journal  -> join / leave / repair
 //   EventSimulator::set_journal    -> lookup_failure
 //   StructureAuditor callers       -> audit_snapshot (via audit_snapshot())
+//   FaultPlan::materialize         -> crash / revive (injected faults)
 //
 // Like the rest of the telemetry layer the journal is opt-in and
 // single-threaded; no journal attached means no work on any code path.
@@ -64,6 +65,11 @@ class EventJournal {
   /// Periodic structural-health snapshot (see audit::StructureAuditor).
   std::uint64_t audit_snapshot(std::size_t size, std::uint64_t checks,
                                std::uint64_t violations);
+  /// Injected fail-stop of node index `node` (overlay ID `id`) at virtual
+  /// time `at` (FaultPlan::materialize).
+  std::uint64_t crash(std::uint32_t node, std::uint64_t id, std::uint64_t at);
+  /// Injected revival; same fields as crash.
+  std::uint64_t revive(std::uint32_t node, std::uint64_t id, std::uint64_t at);
 
   void flush();
 

@@ -9,17 +9,11 @@
 
 #include "audit/auditor.h"
 #include "canon/cacophony.h"
-#include "canon/cancan.h"
 #include "canon/crescendo.h"
-#include "canon/kandy.h"
-#include "canon/mixed.h"
-#include "canon/nondet_crescendo.h"
-#include "canon/proximity.h"
 #include "dht/can.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
-#include "dht/nondet_chord.h"
-#include "dht/symphony.h"
+#include "overlay/family_registry.h"
 #include "overlay/population.h"
 #include "telemetry/metrics.h"
 
@@ -52,36 +46,6 @@ OverlayNetwork test_net(std::size_t n = 256, int levels = 3,
   return make_population(spec, rng);
 }
 
-LinkTable build_family(const OverlayNetwork& net, std::string_view family,
-                       std::uint64_t seed) {
-  const HopCost cost = [](std::uint32_t a, std::uint32_t b) {
-    return static_cast<double>((a * 31u + b * 17u) % 97u + 1u);
-  };
-  Rng rng(seed * 2 + 1);
-  if (family == "chord") return build_chord(net);
-  if (family == "crescendo") return build_crescendo(net);
-  if (family == "clique_crescendo") return build_clique_crescendo(net);
-  if (family == "can") return build_can(net).links;
-  if (family == "cancan") return CanCanNetwork(net).links();
-  if (family == "symphony") return build_symphony(net, rng);
-  if (family == "nondet_chord") return build_nondet_chord(net, rng);
-  if (family == "kademlia") {
-    return build_kademlia(net, BucketChoice::kClosest, rng);
-  }
-  if (family == "kandy") return build_kandy(net, BucketChoice::kClosest, rng);
-  if (family == "cacophony") return build_cacophony(net, rng);
-  if (family == "nondet_crescendo") return build_nondet_crescendo(net, rng);
-  if (family == "chord_prox") {
-    const GroupedOverlay groups(net, ProximityConfig{}.target_group_size);
-    return build_chord_prox(net, groups, cost, ProximityConfig{}, rng);
-  }
-  if (family == "crescendo_prox") {
-    const GroupedOverlay groups(net, ProximityConfig{}.target_group_size);
-    return build_crescendo_prox(net, groups, cost, ProximityConfig{}, rng);
-  }
-  throw std::invalid_argument("unknown family");
-}
-
 std::vector<std::uint32_t> row_copy(const LinkTable& t, std::uint32_t node) {
   const auto row = t.neighbors(node);
   return {row.begin(), row.end()};
@@ -89,10 +53,10 @@ std::vector<std::uint32_t> row_copy(const LinkTable& t, std::uint32_t node) {
 
 TEST(Auditor, EveryHealthyFamilyAuditsClean) {
   const OverlayNetwork net = test_net();
-  for (const std::string_view family : audit::family_names()) {
-    LinkTable links = build_family(net, family, 7);
-    const audit::StructureAuditor auditor(net, links);
-    const audit::AuditReport report = auditor.audit(family);
+  for (const std::string_view family : registry::family_names()) {
+    LinkTable links = registry::build_family(net, family, 7);
+    const audit::AuditReport report =
+        registry::audit_family(family, net, links);
     EXPECT_TRUE(report.ok())
         << family << ": " << report.summary();
     EXPECT_GT(report.total_checks(), 0u) << family;
@@ -107,9 +71,8 @@ TEST(Auditor, FlatPopulationAuditsClean) {
   const OverlayNetwork net = test_net(128, /*levels=*/1, 11);
   for (const std::string_view family :
        {"chord", "crescendo", "kademlia", "kandy", "can", "cancan"}) {
-    LinkTable links = build_family(net, family, 11);
-    const audit::StructureAuditor auditor(net, links);
-    EXPECT_TRUE(auditor.audit(family).ok()) << family;
+    LinkTable links = registry::build_family(net, family, 11);
+    EXPECT_TRUE(registry::audit_family(family, net, links).ok()) << family;
   }
 }
 
@@ -122,11 +85,21 @@ TEST(Auditor, RequiresFinalizedTable) {
 TEST(Auditor, UnknownFamilyThrows) {
   const OverlayNetwork net = test_net(32, 1, 3);
   const LinkTable links = build_chord(net);
-  const audit::StructureAuditor auditor(net, links);
-  EXPECT_THROW(auditor.audit("pastry"), std::invalid_argument);
-  EXPECT_FALSE(audit::is_family("pastry"));
-  EXPECT_TRUE(audit::is_family("crescendo"));
-  EXPECT_EQ(audit::family_names().size(), 13u);
+  EXPECT_THROW(registry::family("pastry"), std::invalid_argument);
+  EXPECT_THROW(registry::audit_family("pastry", net, links),
+               std::invalid_argument);
+  EXPECT_FALSE(registry::is_family("pastry"));
+  EXPECT_TRUE(registry::is_family("crescendo"));
+  EXPECT_EQ(registry::family_names().size(), 13u);
+  EXPECT_EQ(registry::families().size(), 13u);
+  // The thrown message names the valid families, so a CLI typo is
+  // self-correcting.
+  try {
+    registry::family("pastry");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("crescendo"), std::string::npos);
+  }
 }
 
 // Mutation: drop a Crescendo node's leaf-ring successor edge. The auditor
@@ -148,7 +121,7 @@ TEST(AuditorMutation, CrescendoDroppedRingEdge) {
   links.set_neighbors(m, std::move(row));
 
   const audit::AuditReport report =
-      audit::StructureAuditor(net, links).audit("crescendo");
+      registry::audit_family("crescendo", net, links);
   ASSERT_FALSE(report.ok());
   bool leaf_closure_missed = false;
   for (const audit::Violation& v : report.violations) {
@@ -179,7 +152,7 @@ TEST(AuditorMutation, ChordDroppedFarFinger) {
   links.set_neighbors(m, std::move(row));
 
   const audit::AuditReport report =
-      audit::StructureAuditor(net, links).audit("chord");
+      registry::audit_family("chord", net, links);
   ASSERT_FALSE(report.ok());
   for (const audit::Violation& v : report.violations) {
     EXPECT_EQ(v.check, "chord.finger");
@@ -210,7 +183,7 @@ TEST(AuditorMutation, KademliaEmptiedBucket) {
   links.set_neighbors(m, std::move(row));
 
   const audit::AuditReport report =
-      audit::StructureAuditor(net, links).audit("kademlia");
+      registry::audit_family("kademlia", net, links);
   ASSERT_FALSE(report.ok());
   for (const audit::Violation& v : report.violations) {
     EXPECT_EQ(v.check, "xor.bucket");
@@ -229,7 +202,7 @@ TEST(AuditorMutation, CacophonyTruncatedSuccessors) {
   links.set_neighbors(m, {});
 
   const audit::AuditReport report =
-      audit::StructureAuditor(net, links).audit("cacophony");
+      registry::audit_family("cacophony", net, links);
   ASSERT_FALSE(report.ok());
   std::vector<int> levels;
   for (const audit::Violation& v : report.violations) {
@@ -326,7 +299,7 @@ TEST(Auditor, ReportToJsonSchema) {
   LinkTable links = build_crescendo(net);
   links.set_neighbors(5, {});  // seed some violations
   const audit::AuditReport report =
-      audit::StructureAuditor(net, links).audit("crescendo");
+      registry::audit_family("crescendo", net, links);
   ASSERT_FALSE(report.ok());
 
   const telemetry::JsonValue doc = report.to_json();
@@ -346,8 +319,47 @@ TEST(Auditor, ReportToJsonSchema) {
   }
   // A clean report round-trips too.
   const audit::AuditReport clean =
-      audit::StructureAuditor(net, build_crescendo(net)).audit("crescendo");
+      registry::audit_family("crescendo", net, build_crescendo(net));
   EXPECT_TRUE(clean.to_json().get("ok")->as_bool());
+}
+
+TEST(Auditor, LivenessBatteryBlamesIsolatedSurvivors) {
+  const OverlayNetwork net = test_net(64, 1, 5);
+  const LinkTable links = build_chord(net);
+  const audit::StructureAuditor auditor(net, links);
+
+  // Fully live: both batteries run (one assertion per live node) and pass.
+  audit::AuditReport clean;
+  auditor.check_liveness(clean, FailureSet(net.size()), 4);
+  EXPECT_TRUE(clean.ok()) << clean.summary();
+  EXPECT_EQ(clean.checks.at("live.degree"), net.size());
+  EXPECT_EQ(clean.checks.at("live.leafset"), net.size());
+
+  // leaf_set == 0 disables the leafset battery entirely.
+  audit::AuditReport no_leaf;
+  auditor.check_liveness(no_leaf, FailureSet(net.size()), 0);
+  EXPECT_EQ(no_leaf.checks.count("live.leafset"), 0u);
+
+  // Kill every neighbor of node 0 plus its 4 ring successors: node 0 must
+  // be blamed by both batteries (dead nodes are never blamed).
+  FailureSet dead(net.size());
+  for (const std::uint32_t v : links.neighbors(0)) dead.kill(v);
+  for (std::uint32_t step = 1; step <= 4; ++step) {
+    dead.kill(step % static_cast<std::uint32_t>(net.size()));
+  }
+  audit::AuditReport r;
+  auditor.check_liveness(r, dead, 4);
+  ASSERT_FALSE(r.ok());
+  bool degree_blamed = false;
+  bool leafset_blamed = false;
+  for (const audit::Violation& v : r.violations) {
+    EXPECT_FALSE(dead.dead(v.node)) << v.check;
+    if (v.node == 0 && v.check == "live.degree") degree_blamed = true;
+    if (v.node == 0 && v.check == "live.leafset") leafset_blamed = true;
+  }
+  EXPECT_TRUE(degree_blamed);
+  EXPECT_TRUE(leafset_blamed);
+  EXPECT_EQ(r.checks.at("live.degree"), net.size() - dead.dead_count());
 }
 
 TEST(Auditor, MetricsCountersRecordChecksAndViolations) {
@@ -357,7 +369,7 @@ TEST(Auditor, MetricsCountersRecordChecksAndViolations) {
   telemetry::MetricsRegistry registry;
   telemetry::MetricsRegistry* prev = telemetry::install_registry(&registry);
   const audit::AuditReport report =
-      audit::StructureAuditor(net, links).audit("crescendo");
+      registry::audit_family("crescendo", net, links);
   telemetry::install_registry(prev);
   EXPECT_EQ(registry.counters().at("audit.checks").value(),
             report.total_checks());

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "audit/auditor.h"
+#include "overlay/family_registry.h"
 #include "canon/crescendo.h"
 #include "common/rng.h"
 #include "hierarchy/generators.h"
@@ -181,7 +182,7 @@ TEST(Journal, ChurnRunReplaysToIdenticalVerdict) {
   // Final snapshot from the live (incrementally maintained) structure.
   const LinkTable live = dyn.link_table();
   const audit::AuditReport live_report =
-      audit::StructureAuditor(dyn.network(), live).audit("crescendo");
+      registry::audit_family("crescendo", dyn.network(), live);
   journal.audit_snapshot(dyn.size(), live_report.total_checks(),
                          live_report.violations.size());
   EXPECT_TRUE(live_report.ok()) << live_report.summary();
@@ -217,7 +218,7 @@ TEST(Journal, ChurnRunReplaysToIdenticalVerdict) {
   const OverlayNetwork net(space, std::move(rebuilt));
   const LinkTable scratch = build_crescendo(net);
   const audit::AuditReport replay_report =
-      audit::StructureAuditor(net, scratch).audit("crescendo");
+      registry::audit_family("crescendo", net, scratch);
   EXPECT_EQ(replay_report.ok(), live_report.ok());
 
   // Verdict identity is not just boolean: the reconstructed from-scratch

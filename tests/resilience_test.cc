@@ -41,12 +41,12 @@ TEST(ResilientRouting, NoFailuresMatchesPlainGreedy) {
   const auto links = build_crescendo(net);
   const FailureSet failures(net.size());
   const RingRouter plain(net, links);
-  const ResilientRingRouter resilient(net, links, failures);
+  const ResilientRingRouter resilient(net, links);
   for (int t = 0; t < 200; ++t) {
     const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
     const NodeId key = net.space().wrap(rng());
     const Route a = plain.route(from, key);
-    const Route b = resilient.route(from, key);
+    const Route b = resilient.route(from, key, failures);
     EXPECT_TRUE(b.ok);
     EXPECT_EQ(b.terminal(), a.terminal());
   }
@@ -60,8 +60,8 @@ TEST(ResilientRouting, LiveResponsibleSkipsDeadPredecessors) {
   const NodeId key = net.space().wrap(rng());
   const std::uint32_t owner = net.responsible(key);
   failures.kill(owner);
-  const ResilientRingRouter router(net, links, failures);
-  const std::uint32_t fallback = router.live_responsible(key);
+  const ResilientRingRouter router(net, links);
+  const std::uint32_t fallback = router.live_responsible(key, failures);
   EXPECT_NE(fallback, owner);
   // The fallback is the next live predecessor.
   EXPECT_FALSE(failures.dead(fallback));
@@ -80,7 +80,7 @@ TEST_P(FailureRateTest, SurvivesRandomFailures) {
       failures.kill(i);
     }
   }
-  const ResilientRingRouter router(net, links, failures, /*leaf_set=*/8);
+  const ResilientRingRouter router(net, links, /*leaf_set=*/8);
   int ok = 0;
   int total = 0;
   for (int t = 0; t < 300; ++t) {
@@ -88,7 +88,7 @@ TEST_P(FailureRateTest, SurvivesRandomFailures) {
     if (failures.dead(from)) continue;
     ++total;
     const NodeId key = net.space().wrap(rng());
-    const Route r = router.route(from, key);
+    const Route r = router.route(from, key, failures);
     ok += r.ok;
     // Every hop must be live.
     for (const auto hop : r.path) EXPECT_FALSE(failures.dead(hop));
@@ -107,8 +107,8 @@ TEST(ResilientRouting, RejectsDeadSource) {
   const auto links = build_crescendo(net);
   FailureSet failures(net.size());
   failures.kill(0);
-  const ResilientRingRouter router(net, links, failures);
-  EXPECT_THROW(router.route(0, 1), std::invalid_argument);
+  const ResilientRingRouter router(net, links);
+  EXPECT_THROW(router.route(0, 1, failures), std::invalid_argument);
 }
 
 TEST(IterativeLookup, FindsClosestOnKademlia) {

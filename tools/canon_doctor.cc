@@ -1,92 +1,86 @@
-// canon_doctor: build (or ingest) an overlay and audit its structure.
+// canon_doctor: build (or ingest) an overlay, audit its structure, and —
+// when asked — measure how it routes under injected failures.
 //
 // Three modes, selected by flags:
 //
-//   static  (default)      Build --family over a fresh population and run
-//                          the family's full audit battery. --all audits
-//                          every one of the 13 families over the same
-//                          population. Exit 0 iff no violations.
+//   static  (default)      Build --family over a fresh population (every
+//                          family from the registry with --all) and run
+//                          the family's full audit battery. With
+//                          --crash-rate (and optionally --drop-rate) each
+//                          audited family additionally routes --trials
+//                          lookups through its failure-aware router over a
+//                          FaultPlan killing that fraction of nodes, plus
+//                          a liveness audit of the survivors. Exit 0 iff
+//                          no structural violations and every measured
+//                          success rate reaches --min-success.
 //   churn   (--churn=N)    Run N join/leave operations through
 //                          DynamicCrescendo, journaling every event to
 //                          --journal-out (JSONL) and appending an
 //                          audit_snapshot every --snapshot-every ops plus
-//                          one final snapshot. Exit 0 iff the final audit
-//                          is clean.
+//                          one final snapshot. With --crash-rate the
+//                          post-churn structure also runs the fault phase
+//                          (its crash events land in the same journal).
+//                          Exit 0 iff the final audit is clean and the
+//                          fault phase (if any) reaches --min-success.
 //   replay  (--replay=F)   Re-read a churn journal, reconstruct the
 //                          surviving member set from its join/leave
-//                          events, rebuild Crescendo from scratch and
+//                          events (crash/revive fault events are injected
+//                          faults, not membership changes, and are
+//                          ignored), rebuild Crescendo from scratch and
 //                          re-audit. Exit 0 iff the fresh audit is clean
 //                          AND its verdict matches the journal's final
 //                          audit_snapshot (the incremental structure and
 //                          the from-scratch one must agree).
 //
 // Common flags: --nodes=1024 --levels=3 --fanout=10 --seed=42 --json=F.
-// Replay assumes the default 32-bit ID space (the journal records IDs,
-// not the space). See docs/TELEMETRY.md for the journal schema.
+// Fault flags: --crash-rate=0.3 --drop-rate=0.05 --trials=2000
+// --min-success=0.5. Valid --family values come from the family registry
+// (overlay/family_registry.h); an unknown name prints the full list.
+// Replay assumes the default 32-bit ID space (the journal records IDs, not
+// the space). See docs/TELEMETRY.md for the journal schema and
+// docs/RESILIENCE.md for the fault model.
 #include <cstdio>
 #include <exception>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "audit/auditor.h"
 #include "bench/bench_util.h"
-#include "canon/cacophony.h"
-#include "canon/cancan.h"
 #include "canon/crescendo.h"
-#include "canon/kandy.h"
-#include "canon/mixed.h"
-#include "canon/nondet_crescendo.h"
-#include "canon/proximity.h"
-#include "dht/can.h"
-#include "dht/chord.h"
-#include "dht/kademlia.h"
-#include "dht/nondet_chord.h"
-#include "dht/symphony.h"
 #include "hierarchy/generators.h"
 #include "maintenance/dynamic_crescendo.h"
+#include "overlay/family_registry.h"
 #include "overlay/population.h"
+#include "overlay/query_engine.h"
 #include "telemetry/journal.h"
 
 namespace {
 
 using namespace canon;
 
-/// Same construction conventions as tests/parallel_determinism_test.cc:
-/// randomized families draw from Rng(seed * 2 + 1), the proximity families
-/// group by the top bits (target group size 16) and use a synthetic but
-/// deterministic pairwise latency oracle.
-LinkTable build_family(const OverlayNetwork& net, std::string_view family,
-                       std::uint64_t seed) {
-  const HopCost cost = [](std::uint32_t a, std::uint32_t b) {
-    return static_cast<double>((a * 31u + b * 17u) % 97u + 1u);
-  };
-  Rng rng(seed * 2 + 1);
-  if (family == "chord") return build_chord(net);
-  if (family == "crescendo") return build_crescendo(net);
-  if (family == "clique_crescendo") return build_clique_crescendo(net);
-  if (family == "can") return build_can(net).links;
-  if (family == "cancan") return CanCanNetwork(net).links();
-  if (family == "symphony") return build_symphony(net, rng);
-  if (family == "nondet_chord") return build_nondet_chord(net, rng);
-  if (family == "kademlia") {
-    return build_kademlia(net, BucketChoice::kClosest, rng);
-  }
-  if (family == "kandy") return build_kandy(net, BucketChoice::kClosest, rng);
-  if (family == "cacophony") return build_cacophony(net, rng);
-  if (family == "nondet_crescendo") return build_nondet_crescendo(net, rng);
-  if (family == "chord_prox") {
-    const GroupedOverlay groups(net, ProximityConfig{}.target_group_size);
-    return build_chord_prox(net, groups, cost, ProximityConfig{}, rng);
-  }
-  if (family == "crescendo_prox") {
-    const GroupedOverlay groups(net, ProximityConfig{}.target_group_size);
-    return build_crescendo_prox(net, groups, cost, ProximityConfig{}, rng);
-  }
-  throw std::invalid_argument("canon_doctor: unknown family '" +
-                              std::string(family) + "'");
-}
+/// The leaf-set reach assumed by the liveness audit — the resilient ring
+/// router's default fallback depth.
+constexpr int kLivenessLeafSet = 4;
+
+struct FaultOptions {
+  double crash_rate = 0.0;  ///< fail-stop fraction in [0, 1)
+  double drop_rate = 0.0;   ///< per-forwarding message-drop probability
+  std::uint64_t trials = 2000;
+  double min_success = 0.0;  ///< exit-gating success-rate floor
+
+  bool active() const { return crash_rate > 0.0 || drop_rate > 0.0; }
+};
+
+struct DoctorOptions {
+  std::size_t nodes = 1024;
+  int levels = 3;
+  int fanout = 10;
+  std::uint64_t seed = 42;
+  FaultOptions faults;
+};
 
 void print_report(std::string_view name, const audit::AuditReport& report) {
   std::printf("  %-18s %s\n", std::string(name).c_str(),
@@ -113,13 +107,6 @@ telemetry::JsonValue family_row(std::string_view name,
   return row;
 }
 
-struct DoctorOptions {
-  std::size_t nodes = 1024;
-  int levels = 3;
-  int fanout = 10;
-  std::uint64_t seed = 42;
-};
-
 OverlayNetwork make_net(const DoctorOptions& opt) {
   Rng rng(opt.seed);
   PopulationSpec spec;
@@ -129,30 +116,112 @@ OverlayNetwork make_net(const DoctorOptions& opt) {
   return make_population(spec, rng);
 }
 
+/// Routes `trials` uniform lookups through `name`'s failure-aware router
+/// under the doctor's FaultPlan, audits survivor liveness, prints one
+/// summary line, and appends a "resilience" object to `row`. Crash events
+/// go to `journal` when given. Returns whether the success rate clears
+/// --min-success.
+bool run_fault_phase(std::string_view name, const OverlayNetwork& net,
+                     const LinkTable& links, const DoctorOptions& opt,
+                     telemetry::EventJournal* journal,
+                     telemetry::JsonValue& row) {
+  const FaultOptions& f = opt.faults;
+  FaultPlan plan =
+      FaultPlan::fail_fraction(net.size(), f.crash_rate, opt.seed);
+  if (f.drop_rate > 0.0) plan.set_drop(f.drop_rate);
+  const FailureSet dead = plan.materialize(net, journal);
+
+  const registry::FamilyRouter router =
+      registry::family(name).make_router(net, links);
+  const QueryEngine engine(net);
+  const auto queries =
+      uniform_workload(net, f.trials, Rng(opt.seed ^ 0x7e5171dcULL));
+  const ResilientStats stats =
+      router.run_resilient_with(engine, queries, dead, plan);
+
+  audit::AuditReport live;
+  const audit::StructureAuditor auditor(net, links);
+  auditor.check_liveness(live, dead, kLivenessLeafSet);
+
+  std::printf(
+      "      faults: %llu/%zu crashed, drop %.2f -> success %.3f "
+      "(%llu/%llu ok, %llu dead sources), retries %llu, fallback hops "
+      "%llu; liveness %s\n",
+      static_cast<unsigned long long>(dead.dead_count()), net.size(),
+      f.drop_rate, stats.success_rate(),
+      static_cast<unsigned long long>(stats.base.ok()),
+      static_cast<unsigned long long>(stats.attempted()),
+      static_cast<unsigned long long>(stats.skipped_dead_source),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.fallback_hops),
+      live.summary().c_str());
+
+  telemetry::JsonValue res = telemetry::JsonValue::object();
+  res.set("crash_rate", telemetry::JsonValue(f.crash_rate));
+  res.set("drop_rate", telemetry::JsonValue(f.drop_rate));
+  res.set("crashed", telemetry::JsonValue(
+                         static_cast<std::uint64_t>(dead.dead_count())));
+  res.set("trials", telemetry::JsonValue(f.trials));
+  res.set("attempted", telemetry::JsonValue(stats.attempted()));
+  res.set("ok", telemetry::JsonValue(stats.base.ok()));
+  res.set("success_rate", telemetry::JsonValue(stats.success_rate()));
+  res.set("availability", telemetry::JsonValue(stats.availability()));
+  res.set("retries", telemetry::JsonValue(stats.retries));
+  res.set("fallback_hops", telemetry::JsonValue(stats.fallback_hops));
+  res.set("skipped_dead_source",
+          telemetry::JsonValue(stats.skipped_dead_source));
+  res.set("mean_hops", telemetry::JsonValue(stats.base.hops.mean()));
+  // The liveness audit is diagnostic, not exit-gating: at high kill
+  // fractions isolated survivors are expected, and the success rate
+  // already prices them in.
+  res.set("liveness", live.to_json());
+  row.set("resilience", std::move(res));
+
+  return stats.success_rate() >= f.min_success;
+}
+
 int run_static(bench::BenchRun& run, const DoctorOptions& opt,
-               const std::string& family, bool all) {
+               const std::string& family, bool all,
+               const std::string& journal_path) {
   const OverlayNetwork net = make_net(opt);
   std::vector<std::string_view> families;
   if (all) {
-    const auto names = audit::family_names();
+    const auto names = registry::family_names();
     families.assign(names.begin(), names.end());
   } else {
     families.push_back(family);
   }
+
+  std::unique_ptr<telemetry::EventJournal> journal;
+  if (!journal_path.empty() && opt.faults.active()) {
+    journal = std::make_unique<telemetry::EventJournal>(journal_path);
+  }
+
   std::size_t total_violations = 0;
+  bool success_ok = true;
   for (const std::string_view f : families) {
-    const LinkTable links = build_family(net, f, opt.seed);
-    const audit::StructureAuditor auditor(net, links);
-    const audit::AuditReport report = auditor.audit(f);
+    const LinkTable links = registry::build_family(net, f, opt.seed);
+    const audit::AuditReport report = registry::audit_family(f, net, links);
     total_violations += report.violations.size();
     print_report(f, report);
-    run.report().add_row(family_row(f, report));
+    telemetry::JsonValue row = family_row(f, report);
+    if (opt.faults.active()) {
+      success_ok &=
+          run_fault_phase(f, net, links, opt, journal.get(), row);
+    }
+    run.report().add_row(std::move(row));
   }
+  if (journal) journal->flush();
   std::printf("\n%s\n", total_violations == 0
                             ? "all audited structures are healthy"
                             : "structural violations detected");
+  if (opt.faults.active() && !success_ok) {
+    std::printf("fault phase: success rate below --min-success=%.3f\n",
+                opt.faults.min_success);
+  }
   const int rc = run.finish();
-  return rc != 0 ? rc : (total_violations == 0 ? 0 : 1);
+  if (rc != 0) return rc;
+  return (total_violations == 0 && success_ok) ? 0 : 1;
 }
 
 /// Applies `ops` random join/leave operations; journals when `journal` is
@@ -171,8 +240,8 @@ audit::AuditReport run_churn_ops(bench::BenchRun& run, DynamicCrescendo& dyn,
 
   const auto snapshot = [&](std::uint64_t op) {
     const LinkTable links = dyn.link_table();
-    const audit::StructureAuditor auditor(dyn.network(), links);
-    const audit::AuditReport report = auditor.audit("crescendo");
+    const audit::AuditReport report =
+        registry::audit_family("crescendo", dyn.network(), links);
     if (journal) {
       journal->audit_snapshot(dyn.size(), report.total_checks(),
                               report.violations.size());
@@ -252,12 +321,26 @@ int run_churn(bench::BenchRun& run, const DoctorOptions& opt,
   std::printf("after %llu churn ops (final size %zu):\n",
               static_cast<unsigned long long>(ops), dyn.size());
   print_report("crescendo", report);
+
+  // The post-churn fault phase: does the *churned* structure still route
+  // around injected failures?
+  bool success_ok = true;
+  if (opt.faults.active()) {
+    const LinkTable links = dyn.link_table();
+    telemetry::JsonValue row = family_row("crescendo", report);
+    success_ok = run_fault_phase("crescendo", dyn.network(), links, opt,
+                                 journal.get(), row);
+    run.report().add_row(std::move(row));
+    if (journal) journal->flush();
+  }
+
   if (journal) {
     std::printf("journal: %s (%llu events)\n", journal_path.c_str(),
                 static_cast<unsigned long long>(journal->events()));
   }
   const int rc = run.finish();
-  return rc != 0 ? rc : (report.ok() ? 0 : 1);
+  if (rc != 0) return rc;
+  return (report.ok() && success_ok) ? 0 : 1;
 }
 
 int run_replay(bench::BenchRun& run, const std::string& journal_path) {
@@ -265,7 +348,9 @@ int run_replay(bench::BenchRun& run, const std::string& journal_path) {
       telemetry::read_journal_file(journal_path);
 
   // Reconstruct the surviving member set; remember the last snapshot's
-  // verdict for the incremental-vs-from-scratch comparison.
+  // verdict for the incremental-vs-from-scratch comparison. Fault events
+  // (crash/revive) are injected failures, not membership changes — they
+  // fall through the type dispatch untouched.
   std::map<NodeId, DomainPath> members;
   bool saw_snapshot = false;
   std::uint64_t snapshot_violations = 0;
@@ -294,8 +379,8 @@ int run_replay(bench::BenchRun& run, const std::string& journal_path) {
   }
   const OverlayNetwork net(IdSpace(), std::move(nodes));
   const LinkTable links = build_crescendo(net);
-  const audit::StructureAuditor auditor(net, links);
-  const audit::AuditReport report = auditor.audit("crescendo");
+  const audit::AuditReport report =
+      registry::audit_family("crescendo", net, links);
 
   std::printf("replayed %zu events -> %zu surviving members\n", events.size(),
               members.size());
@@ -332,6 +417,20 @@ int main(int argc, char** argv) {
     const std::uint64_t snapshot_every = run.u64("snapshot-every", 100);
     const std::string journal_out = run.str("journal-out", "");
     const std::string replay = run.str("replay", "");
+    // Fault flags stay out of the recorded params unless passed, so a
+    // fault-free doctor report is byte-identical to the pre-fault tool's.
+    if (run.present("crash-rate")) {
+      opt.faults.crash_rate = run.f64("crash-rate", 0.0);
+    }
+    if (run.present("drop-rate")) {
+      opt.faults.drop_rate = run.f64("drop-rate", 0.0);
+    }
+    if (opt.faults.active() || run.present("trials")) {
+      opt.faults.trials = run.u64("trials", 2000);
+    }
+    if (opt.faults.active() || run.present("min-success")) {
+      opt.faults.min_success = run.f64("min-success", 0.0);
+    }
 
     run.header("canon_doctor: structural health report",
                "invariants of Sections 2.1, 2.3, 3.4 (audit battery)");
@@ -339,12 +438,13 @@ int main(int argc, char** argv) {
     if (!replay.empty()) return run_replay(run, replay);
     if (churn > 0) return run_churn(run, opt, churn, snapshot_every,
                                     journal_out);
-    if (!all && !audit::is_family(family)) {
-      std::fprintf(stderr, "canon_doctor: unknown family '%s'\n",
-                   family.c_str());
+    if (!all && !registry::is_family(family)) {
+      std::fprintf(stderr,
+                   "canon_doctor: unknown family '%s' (families: %s)\n",
+                   family.c_str(), registry::family_list().c_str());
       return 2;
     }
-    return run_static(run, opt, family, all);
+    return run_static(run, opt, family, all, journal_out);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "canon_doctor: %s\n", e.what());
     return 2;
