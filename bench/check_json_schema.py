@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """End-to-end check for the machine-readable output schemas.
 
-Four modes:
+Five modes:
 
   check_json_schema.py <bench_binary>
     Runs a bench binary with small parameters and --json, then asserts the
@@ -32,6 +32,14 @@ Four modes:
     retry-free (the empty-plan identity), and success monotone
     non-increasing in the kill fraction within each (family, leaf_set)
     series (fail_fraction's kill sets are nested).
+
+  check_json_schema.py --load <ablation_load_binary>
+    Runs the load-observatory ablation with small parameters and asserts
+    the LoadAccountant schema on every per-levels row (accounting
+    invariants, Gini and shares in range, sorted hotspot lists, and the
+    §5 confinement ratio exactly 1.0 for every hierarchical row) plus the
+    crash_curve row's time series (windows ordered, failures only after
+    the crash point, live-node count dropping by the crash count).
 """
 import json
 import os
@@ -40,7 +48,7 @@ import sys
 import tempfile
 
 JOURNAL_TYPES = {"join", "leave", "repair", "lookup_failure",
-                 "audit_snapshot", "crash", "revive"}
+                 "audit_snapshot", "crash", "revive", "load_snapshot"}
 JOURNAL_REQUIRED = {
     "join": {"id", "path", "lookup_hops", "size"},
     "leave": {"id", "size"},
@@ -49,6 +57,7 @@ JOURNAL_REQUIRED = {
     "audit_snapshot": {"size", "checks", "violations"},
     "crash": {"node", "id", "at"},
     "revive": {"node", "id", "at"},
+    "load_snapshot": {"t_ms", "nodes"},
 }
 
 
@@ -180,6 +189,36 @@ def check_doctor(binary):
             f"journal has {crashes} crash events, "
             f"report says {res['crashed']}")
 
+        # Observatory phase: --load-report adds a schema-valid load
+        # section per family row; --trace-out writes a Chrome trace-event
+        # JSON with construction-phase spans and sampled lookup hops.
+        obs_report = os.path.join(tmp, "observatory.json")
+        trace = os.path.join(tmp, "trace.json")
+        subprocess.run(
+            [binary, "--family=crescendo", "--nodes=256", "--levels=3",
+             "--trials=400", "--load-report", f"--trace-out={trace}",
+             f"--json={obs_report}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(obs_report) as f:
+            doc = json.load(f)
+        row = doc["series"][0]
+        assert "load" in row, "doctor row missing load section"
+        check_load_section(row["load"], 3)
+        assert row["load"]["queries"] == 400, row["load"]["queries"]
+        with open(trace) as f:
+            tdoc = json.load(f)
+        assert tdoc["displayTimeUnit"] == "ms"
+        spans = [e for e in tdoc["traceEvents"] if e.get("ph") == "X"]
+        assert spans, "trace has no complete events"
+        for e in spans:
+            assert e["ts"] >= 0 and e["dur"] >= 0, e
+        assert any(e["name"].startswith("build.") for e in spans), (
+            "no construction-phase spans in trace")
+        assert any(e["name"].startswith("hop ") for e in spans), (
+            "no lookup hop spans in trace")
+        assert any(e.get("ph") == "M" for e in tdoc["traceEvents"]), (
+            "no metadata (process/thread name) events in trace")
+
 
 def check_resilient(binary):
     with tempfile.TemporaryDirectory() as tmp:
@@ -218,6 +257,91 @@ def check_resilient(binary):
                 f"{points}")
 
 
+def check_load_section(load, levels):
+    for key in ("queries", "ok", "total_hops", "domain_level", "load",
+                "top_nodes", "top_keys", "hops_by_level", "domains",
+                "confinement"):
+        assert key in load, f"load section missing {key!r}"
+    spread = load["load"]
+    assert 0.0 <= spread["gini"] <= 1.0, spread
+    assert spread["max"] >= spread["mean"] >= 0.0, spread
+    assert sum(load["hops_by_level"]) == load["total_hops"], (
+        f"hops_by_level {load['hops_by_level']} does not sum to "
+        f"{load['total_hops']}")
+    totals = [n["total"] for n in load["top_nodes"]]
+    assert totals == sorted(totals, reverse=True), "top_nodes not sorted"
+    for n in load["top_nodes"]:
+        # A single-node lookup is one message wearing two hats (source and
+        # terminal), so the role sum can exceed the message total — but
+        # never by more than one hat per message, and no single role can
+        # outnumber the messages.
+        roles = n["as_source"] + n["as_relay"] + n["as_terminal"]
+        assert n["total"] <= roles <= 2 * n["total"], n
+        assert max(n["as_source"], n["as_relay"],
+                   n["as_terminal"]) <= n["total"], n
+    lookups = [k["lookups"] for k in load["top_keys"]]
+    assert lookups == sorted(lookups, reverse=True), "top_keys not sorted"
+    share_sum = 0.0
+    for d in load["domains"]:
+        assert 0.0 <= d["share"] <= 1.0, d
+        share_sum += d["share"]
+    assert share_sum <= 1.0 + 1e-9, f"domain shares sum to {share_sum}"
+    conf = load["confinement"]
+    assert 0.0 <= conf["ratio"] <= 1.0, conf
+    assert conf["confined"] <= conf["intra_queries"], conf
+    if levels >= 2:
+        # The §5 claim as a measured number: an intra-domain Crescendo
+        # lookup never leaves its domain.
+        assert conf["ratio"] == 1.0, (
+            f"levels={levels}: confinement {conf['ratio']} != 1.0")
+        assert load["domains"], "hierarchical row has no domain shares"
+
+
+def check_load(binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "report.json")
+        subprocess.run(
+            [binary, "--nodes=1024", "--lookups=3000", f"--json={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+    check_report_envelope(doc)
+    assert doc["bench"] == "ablation_load"
+    level_rows = [r for r in doc["series"] if "load" in r]
+    assert len(level_rows) == 5, f"expected 5 per-levels rows"
+    for row in level_rows:
+        check_load_section(row["load"], row["levels"])
+        assert row["load"]["queries"] == 3000, row["load"]["queries"]
+
+    crash = [r for r in doc["series"] if r.get("phase") == "crash_curve"]
+    assert len(crash) == 1, "expected one crash_curve row"
+    crash = crash[0]
+    rows = crash["timeseries"]
+    assert rows, "crash_curve row has an empty time series"
+    times = [r["t_ms"] for r in rows]
+    assert times == sorted(times), "time series windows out of order"
+    window = times[1] - times[0] if len(times) > 1 else times[0] or 1.0
+    crash_at = crash["crash_at_ms"]
+    failures = 0.0
+    for r in rows:
+        for key in ("t_ms", "issued_per_s", "lookups_per_s",
+                    "failures_per_s", "messages_per_s", "live_nodes"):
+            assert key in r, f"time-series row missing {key!r}"
+        failures += r["failures_per_s"] * window / 1000.0
+        if r["failures_per_s"] > 0:
+            # Failures are completions at a dead node, so they can only
+            # land in windows that end after the crash instant.
+            assert r["t_ms"] + window > crash_at, (
+                f"failures at t={r['t_ms']} before crash at {crash_at}")
+    assert round(failures) == crash["failed"], (
+        f"time series counts {failures} failures, row says "
+        f"{crash['failed']}")
+    live = [r["live_nodes"] for r in rows if r["live_nodes"] >= 0]
+    assert live and live[0] == 1024 and live[-1] == 1024 - crash["crashed"], (
+        f"live-node curve {live[:3]}...{live[-3:]} does not drop by "
+        f"{crash['crashed']}")
+
+
 def strip_timing(doc):
     """Removes the only report fields allowed to vary with --threads."""
     doc["params"].pop("threads", None)
@@ -248,6 +372,8 @@ def main():
         check_resilient(sys.argv[2])
     elif sys.argv[1] == "--threads-invariant":
         check_threads_invariant(sys.argv[2], sys.argv[3:])
+    elif sys.argv[1] == "--load":
+        check_load(sys.argv[2])
     else:
         check_bench(sys.argv[1])
     print("ok")

@@ -4,8 +4,10 @@
 // shows leaf-set fallback keeping lookups alive.
 //
 // Flags: --nodes=4096 --lookups=20000 --seed=42
-//        --journal=<path> (JSONL: lookup_failure events + audit snapshot)
-//        --json=<path>    (BenchReport with the final audit embedded)
+//        --journal=<path> (JSONL: lookup_failure events, audit snapshot,
+//                          and windowed load_snapshot events)
+//        --json=<path>    (BenchReport with the final audit, the load
+//                          phase's time series, and a load report)
 // The run fails (exit 1) if lookups fail under load, post-failure routing
 // drops below 99%, or the structural audit reports any violation.
 #include <iostream>
@@ -21,6 +23,8 @@
 #include "overlay/population.h"
 #include "overlay/resilient_routing.h"
 #include "telemetry/journal.h"
+#include "telemetry/load_stats.h"
+#include "telemetry/timeseries.h"
 
 using namespace canon;
 
@@ -64,6 +68,9 @@ int main(int argc, char** argv) {
   // land in the journal as lookup_failure events.
   EventSimulator sim(net, links);
   sim.set_journal(journal.get());
+  telemetry::TimeSeriesRecorder series(/*window_ms=*/50.0);
+  sim.set_timeseries(&series);
+  if (journal) sim.set_load_snapshots(/*top_k=*/5, /*window_ms=*/200.0);
   for (std::uint64_t t = 0; t < lookup_count; ++t) {
     const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
     sim.submit(from, net.space().wrap(rng()),
@@ -83,10 +90,19 @@ int main(int argc, char** argv) {
   std::cout << "  failures: " << failed << "\n";
   std::cout << "  lookup latency ms  p50 " << TextTable::num(latency.quantile(0.5), 2)
             << "  p99 " << TextTable::num(latency.quantile(0.99), 2) << "\n";
+  const double gini = telemetry::gini_coefficient(sim.node_load());
+  const auto hottest = telemetry::top_loaded_nodes(sim.node_load(), 3);
   std::cout << "  per-node load      p50 " << load.quantile(0.5) << "  max "
             << load.quantile(1.0) << "  (max/mean "
             << TextTable::num(load.quantile(1.0) / load.mean(), 2)
-            << " - no hot spots)\n\n";
+            << ", gini " << TextTable::num(gini, 3)
+            << " - no hot spots)\n";
+  std::cout << "  hottest nodes     ";
+  for (const auto& [node, messages] : hottest) {
+    std::cout << "  #" << node << " (" << messages << " msgs)";
+  }
+  std::cout << "\n  time series        " << series.windows().size()
+            << " windows of 50ms in the JSON report\n\n";
 
   // Phase 2: kill 33% of nodes; resilient routing with leaf sets.
   FailureSet failures(net.size());
@@ -122,6 +138,19 @@ int main(int argc, char** argv) {
         static_cast<std::int64_t>(ok)));
     row.set("phase2_trials", telemetry::JsonValue(
         static_cast<std::int64_t>(kTrials)));
+    row.set("load_gini", telemetry::JsonValue(gini));
+    {
+      telemetry::JsonValue hot = telemetry::JsonValue::array();
+      for (const auto& [node, messages] : hottest) {
+        telemetry::JsonValue entry = telemetry::JsonValue::object();
+        entry.set("node", telemetry::JsonValue(
+            static_cast<std::uint64_t>(node)));
+        entry.set("load", telemetry::JsonValue(messages));
+        hot.push_back(std::move(entry));
+      }
+      row.set("top_nodes", std::move(hot));
+    }
+    row.set("timeseries", series.to_json());
     run.report().add_row(std::move(row));
   }
   const int rc = run.finish();

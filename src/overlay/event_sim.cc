@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "telemetry/journal.h"
+#include "telemetry/load_stats.h"
 
 namespace canon {
 
@@ -16,6 +17,7 @@ EventSimulator::EventSimulator(const OverlayNetwork& net,
       config_(config),
       load_(net.size(), 0),
       busy_until_(net.size(), 0),
+      dead_(net.size()),
       messages_counter_(telemetry::maybe_counter("event_sim.messages")),
       completed_counter_(telemetry::maybe_counter("event_sim.completed")),
       queue_hist_(telemetry::maybe_histogram("event_sim.queue_ms")) {
@@ -37,6 +39,37 @@ void EventSimulator::set_trace(telemetry::RouteTraceSink* sink) {
   }
 }
 
+void EventSimulator::set_timeseries(telemetry::TimeSeriesRecorder* series) {
+  timeseries_ = series;
+  if (!series) return;
+  // Backfill submissions that have not yet completed, mirroring
+  // set_trace's retroactive begin_lookup.
+  for (const LookupStats& lk : lookups_) {
+    if (lk.completed_ms < 0) series->lookup_issued(lk.issued_ms);
+  }
+}
+
+void EventSimulator::set_fault_plan(const FaultPlan* plan) {
+  fault_schedule_.clear();
+  next_fault_ = 0;
+  if (!plan) return;
+  const auto events = plan->events();
+  fault_schedule_.assign(events.begin(), events.end());
+  std::stable_sort(fault_schedule_.begin(), fault_schedule_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void EventSimulator::set_load_snapshots(int top_k, double window_ms) {
+  if (window_ms <= 0) {
+    throw std::invalid_argument(
+        "EventSimulator::set_load_snapshots: window_ms must be > 0");
+  }
+  snapshot_k_ = top_k;
+  snapshot_window_ms_ = window_ms;
+}
+
 int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
   if (from >= net_->size()) {
     throw std::out_of_range("EventSimulator::submit: bad node");
@@ -49,8 +82,56 @@ int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
   lookups_.push_back(stats);
   trace_ids_.push_back(sink_ ? sink_->begin_lookup(from, key) : 0);
   traced_.push_back(sink_ != nullptr);
+  if (timeseries_) timeseries_->lookup_issued(at_ms);
   queue_.push(Event{at_ms, id, from});
   return id;
+}
+
+void EventSimulator::apply_faults_until(double now) {
+  while (next_fault_ < fault_schedule_.size() &&
+         static_cast<double>(fault_schedule_[next_fault_].at) <= now) {
+    const FaultEvent& fe = fault_schedule_[next_fault_++];
+    if (fe.kind == FaultEvent::Kind::kCrash) {
+      dead_.kill(fe.node);
+      if (journal_) journal_->crash(fe.node, net_->id(fe.node), fe.at);
+    } else {
+      dead_.revive(fe.node);
+      if (journal_) journal_->revive(fe.node, net_->id(fe.node), fe.at);
+    }
+    if (timeseries_) {
+      timeseries_->live_nodes(static_cast<double>(fe.at),
+                              static_cast<double>(live_nodes()));
+    }
+  }
+}
+
+void EventSimulator::maybe_snapshot(double now) {
+  if (!journal_ || snapshot_k_ <= 0) return;
+  while (static_cast<double>(snapshots_emitted_ + 1) * snapshot_window_ms_ <=
+         now) {
+    ++snapshots_emitted_;
+    const double t =
+        static_cast<double>(snapshots_emitted_) * snapshot_window_ms_;
+    journal_->load_snapshot(
+        t, telemetry::top_loaded_nodes(
+               load_, static_cast<std::size_t>(snapshot_k_)));
+  }
+}
+
+void EventSimulator::complete_failed(int lookup, double at_ms,
+                                     std::uint32_t terminal) {
+  LookupStats& stats = lookups_[static_cast<std::size_t>(lookup)];
+  stats.completed_ms = at_ms;
+  stats.ok = false;
+  if (completed_counter_) completed_counter_->inc();
+  if (sink_ && traced_[static_cast<std::size_t>(lookup)]) {
+    sink_->end_lookup(trace_ids_[static_cast<std::size_t>(lookup)], false,
+                      terminal);
+  }
+  if (journal_) journal_->lookup_failure(stats.from, stats.key, stats.hops);
+  if (timeseries_) {
+    timeseries_->lookup_completed(at_ms, false, at_ms - stats.issued_ms);
+  }
 }
 
 std::uint32_t EventSimulator::next_hop(std::uint32_t node, NodeId key) const {
@@ -71,11 +152,23 @@ std::uint32_t EventSimulator::next_hop(std::uint32_t node, NodeId key) const {
 
 void EventSimulator::run() {
   const int hop_guard = 4 * net_->space().bits() + 16;
+  if (timeseries_) {
+    timeseries_->live_nodes(now_, static_cast<double>(live_nodes()));
+  }
   while (!queue_.empty()) {
     const Event ev = queue_.top();
     queue_.pop();
     now_ = std::max(now_, ev.at_ms);
+    apply_faults_until(now_);
+    maybe_snapshot(now_);
     LookupStats& stats = lookups_[static_cast<std::size_t>(ev.lookup)];
+
+    // A message arriving at a crashed node is lost: the lookup fails at
+    // the arrival time; the dead node pays no processing and no load.
+    if (dead_.any() && dead_.dead(ev.node)) {
+      complete_failed(ev.lookup, ev.at_ms, ev.node);
+      continue;
+    }
 
     // The message occupies the node from max(arrival, node free).
     const double start =
@@ -85,6 +178,7 @@ void EventSimulator::run() {
     ++load_[ev.node];
     if (messages_counter_) messages_counter_->inc();
     if (queue_hist_) queue_hist_->record_ms(start - ev.at_ms);
+    if (timeseries_) timeseries_->message(ev.at_ms, start - ev.at_ms);
 
     const std::uint32_t next = next_hop(ev.node, stats.key);
     if (next == ev.node || stats.hops >= hop_guard) {
@@ -98,6 +192,9 @@ void EventSimulator::run() {
       }
       if (journal_ && !stats.ok) {
         journal_->lookup_failure(stats.from, stats.key, stats.hops);
+      }
+      if (timeseries_) {
+        timeseries_->lookup_completed(done, stats.ok, done - stats.issued_ms);
       }
       continue;
     }
@@ -118,6 +215,13 @@ void EventSimulator::run() {
     }
     ++stats.hops;
     queue_.push(Event{done + hop_ms, ev.lookup, next});
+  }
+  // Final snapshot at the drained clock so a run shorter than one window
+  // still leaves a load record.
+  if (journal_ && snapshot_k_ > 0) {
+    journal_->load_snapshot(
+        now_, telemetry::top_loaded_nodes(
+                  load_, static_cast<std::size_t>(snapshot_k_)));
   }
 }
 

@@ -14,10 +14,12 @@
 #include <queue>
 #include <vector>
 
+#include "overlay/fault_plan.h"
 #include "overlay/link_table.h"
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace canon::telemetry {
@@ -77,9 +79,35 @@ class EventSimulator {
   void set_trace(telemetry::RouteTraceSink* sink);
 
   /// Attaches an event journal (see telemetry/journal.h): every lookup
-  /// that completes unsuccessfully emits a lookup_failure event. nullptr
-  /// detaches.
+  /// that completes unsuccessfully emits a lookup_failure event; applied
+  /// fault-plan events emit crash/revive lines; load snapshots (when
+  /// enabled) emit load_snapshot lines. nullptr detaches.
   void set_journal(telemetry::EventJournal* journal) { journal_ = journal; }
+
+  /// Attaches a windowed time-series recorder keyed on the simulated
+  /// clock: lookup submissions/completions, per-message queueing, and the
+  /// live-node count all feed it. Lookups submitted before attachment
+  /// that have not yet completed are backfilled as issued. nullptr
+  /// detaches.
+  void set_timeseries(telemetry::TimeSeriesRecorder* series);
+
+  /// Schedules `plan`'s crash/revive events on the simulated clock
+  /// (FaultEvent::at is taken as milliseconds). A message arriving at a
+  /// dead node is lost and its lookup completes failed at the arrival
+  /// time; the node pays no processing cost and gains no load. The plan's
+  /// drop probability is ignored (the simulator models fail-stop only).
+  /// Applied events are journaled as crash/revive when a journal is
+  /// attached. nullptr detaches; pass before run().
+  void set_fault_plan(const FaultPlan* plan);
+
+  /// Live nodes right now (population minus crashed).
+  std::size_t live_nodes() const { return dead_.size() - dead_.dead_count(); }
+
+  /// Emits a load_snapshot journal event (top `top_k` loaded nodes) every
+  /// `window_ms` of simulated time, plus one final snapshot when run()
+  /// drains; requires an attached journal. `top_k` <= 0 disables (the
+  /// default).
+  void set_load_snapshots(int top_k, double window_ms = 50.0);
 
  private:
   struct Event {
@@ -92,6 +120,18 @@ class EventSimulator {
   /// Greedy clockwise next hop, or the node itself when it is responsible.
   std::uint32_t next_hop(std::uint32_t node, NodeId key) const;
 
+  /// Applies every scheduled fault with at <= `now` (journaling them and
+  /// updating the live-node series).
+  void apply_faults_until(double now);
+
+  /// Emits load_snapshot events for every whole snapshot window that ends
+  /// at or before `now`.
+  void maybe_snapshot(double now);
+
+  /// Completes lookup `ev.lookup` as failed at `at_ms` (dead node or hop
+  /// guard), firing trace/journal/time-series observers.
+  void complete_failed(int lookup, double at_ms, std::uint32_t terminal);
+
   const OverlayNetwork* net_;
   const LinkTable* links_;
   HopCost latency_;
@@ -101,6 +141,13 @@ class EventSimulator {
   std::vector<std::uint64_t> load_;
   std::vector<double> busy_until_;
   double now_ = 0;
+  FailureSet dead_;
+  std::vector<FaultEvent> fault_schedule_;  // stably sorted by time
+  std::size_t next_fault_ = 0;
+  telemetry::TimeSeriesRecorder* timeseries_ = nullptr;
+  int snapshot_k_ = 0;
+  double snapshot_window_ms_ = 50.0;
+  std::int64_t snapshots_emitted_ = 0;  // windows already snapshotted
   telemetry::RouteTraceSink* sink_ = nullptr;
   telemetry::EventJournal* journal_ = nullptr;
   std::vector<std::uint64_t> trace_ids_;  // parallel to lookups_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/zipf.h"
 
 namespace canon {
 
@@ -28,6 +29,26 @@ std::vector<Query> uniform_workload(const OverlayNetwork& net,
     Query q;
     q.from = static_cast<std::uint32_t>(rng.uniform(n));
     q.key = space.wrap(rng());
+    return q;
+  });
+}
+
+std::vector<Query> zipf_workload(const OverlayNetwork& net, std::size_t count,
+                                 const Rng& base, double theta,
+                                 std::size_t key_pool) {
+  const std::size_t n = net.size();
+  const IdSpace& space = net.space();
+  if (key_pool == 0) key_pool = n;
+  // The pool is drawn serially from a dedicated fork so its contents don't
+  // depend on count or thread count; rank r holds the r-th draw.
+  Rng pool_rng = base.fork(0x6b657973ULL);  // "keys"
+  std::vector<NodeId> pool(key_pool);
+  for (NodeId& key : pool) key = space.wrap(pool_rng());
+  const ZipfSampler zipf(key_pool, theta);
+  return generate_workload(count, base, [&](Rng& rng, std::size_t) {
+    Query q;
+    q.from = static_cast<std::uint32_t>(rng.uniform(n));
+    q.key = pool[zipf.sample(rng)];
     return q;
   });
 }
@@ -84,12 +105,16 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
 
   // Probe mode: terminal-only routing, no path materialized anywhere.
   // Anything that must see the hop-by-hop path disables it.
-  const bool use_probe =
-      probe && !cost_ && !level_tracking_ && sink_ == nullptr;
+  const bool use_probe = probe && !cost_ && !level_tracking_ &&
+                         sink_ == nullptr && load_ == nullptr;
 
   std::vector<QueryStats> per_shard(shards);
+  std::vector<telemetry::LoadAccountant::Shard> load_shards(load_ ? shards
+                                                                  : 0);
   const auto run_shard = [&](std::size_t s) {
     QueryStats& stats = per_shard[s];
+    telemetry::LoadAccountant::Shard* load_shard =
+        load_ ? &load_shards[s] : nullptr;
     Route scratch;  // one buffer per shard, capacity reused across queries
     const std::size_t begin = s * kQueryGrain;
     const std::size_t end = std::min(n, begin + kQueryGrain);
@@ -101,7 +126,7 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
       } else {
         route_into(q.from, q.key, scratch);
         p = RouteProbe{scratch.terminal(), scratch.hops(), scratch.ok};
-        observe_route(q, scratch, stats);
+        observe_route(q, scratch, stats, load_shard);
       }
       ++stats.queries;
       stats.total_hops += static_cast<std::uint64_t>(p.hops);
@@ -128,12 +153,17 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
 
   QueryStats out;
   for (const QueryStats& s : per_shard) out.merge(s);
+  if (load_) {
+    for (const auto& s : load_shards) load_->merge(s);
+  }
   flush_batch_counters(out);
   return out;
 }
 
-void QueryEngine::observe_route(const Query& q, const Route& route,
-                                QueryStats& stats) const {
+void QueryEngine::observe_route(
+    const Query& q, const Route& route, QueryStats& stats,
+    telemetry::LoadAccountant::Shard* load_shard) const {
+  if (load_shard) load_->observe(route.path, route.ok, q.key, *load_shard);
   if (level_tracking_) {
     for (std::size_t j = 0; j + 1 < route.path.size(); ++j) {
       const int level = net_->lca_level(route.path[j], route.path[j + 1]);

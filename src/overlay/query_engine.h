@@ -39,6 +39,7 @@
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
 #include "overlay/routing.h"
+#include "telemetry/load_stats.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -64,6 +65,15 @@ std::vector<Query> generate_workload(
 /// figure benches: source first, then key).
 std::vector<Query> uniform_workload(const OverlayNetwork& net,
                                     std::size_t count, const Rng& base);
+
+/// Hot-key workload: source uniform over nodes, key drawn Zipf(theta) from
+/// a fixed pool of `key_pool` keys (default: one per node) whose rank
+/// order and values derive from `base` — rank 0 is the hottest key. Like
+/// uniform_workload the result is a pure function of (net, count, base,
+/// theta, key_pool), byte-identical at every thread count.
+std::vector<Query> zipf_workload(const OverlayNetwork& net, std::size_t count,
+                                 const Rng& base, double theta = 1.25,
+                                 std::size_t key_pool = 0);
 
 /// Aggregated outcome of one batch. Mirrors what the serial benches
 /// accumulated by hand: `hops` and `cost` summarize OK queries only
@@ -136,6 +146,13 @@ class QueryEngine {
   /// its FaultPlan materializes (before any query routes). nullptr
   /// detaches.
   void set_journal(telemetry::EventJournal* journal) { journal_ = journal; }
+
+  /// Attaches a load accountant (telemetry/load_stats.h): every routed
+  /// query's path is tallied into per-shard scratch and merged into the
+  /// accountant in fixed shard order after the batch — load reports are
+  /// therefore byte-identical at every thread count. Disables probe mode
+  /// (accounting needs the hop-by-hop path). nullptr detaches.
+  void set_load(telemetry::LoadAccountant* load) { load_ = load; }
 
   /// Routes one query into the caller's buffer; must be safe to call
   /// concurrently on shared state (the hot-path contract).
@@ -217,13 +234,18 @@ class QueryEngine {
     const std::size_t n = queries.size();
     const std::size_t shards = (n + kQueryGrain - 1) / kQueryGrain;
     if (per_query) per_query->assign(n, RouteProbe{});
-    const bool use_probe = !cost_ && !level_tracking_ && sink_ == nullptr;
+    const bool use_probe =
+        !cost_ && !level_tracking_ && sink_ == nullptr && load_ == nullptr;
     const Rng drop_base(plan.drop_seed());
     const double drop_p = plan.drop_probability();
 
     std::vector<ResilientStats> per_shard(shards);
+    std::vector<telemetry::LoadAccountant::Shard> load_shards(
+        load_ ? shards : 0);
     const auto run_shard = [&](std::size_t s) {
       ResilientStats& stats = per_shard[s];
+      telemetry::LoadAccountant::Shard* load_shard =
+          load_ ? &load_shards[s] : nullptr;
       Route route_scratch;  // per-shard buffers, capacity reused
       typename RRouter::Scratch scratch;
       const std::size_t begin = s * kQueryGrain;
@@ -242,7 +264,7 @@ class QueryEngine {
         } else {
           rp = router.route_into(q.from, q.key, dead, drops, scratch,
                                  route_scratch);
-          observe_route(q, route_scratch, stats.base);
+          observe_route(q, route_scratch, stats.base, load_shard);
         }
         ++stats.base.queries;
         stats.base.total_hops += static_cast<std::uint64_t>(rp.hops);
@@ -267,6 +289,9 @@ class QueryEngine {
 
     ResilientStats out;
     for (const ResilientStats& s : per_shard) out.merge(s);
+    if (load_) {
+      for (const auto& s : load_shards) load_->merge(s);
+    }
     flush_batch_counters(out.base);
     if (!plan.empty()) flush_resilient_counters(out);
     return out;
@@ -274,9 +299,11 @@ class QueryEngine {
 
  private:
   /// The path-dependent tallies of full (non-probe) mode: level tracking,
-  /// path cost, trace replay. Shared by run_batch and run_resilient_with.
-  void observe_route(const Query& q, const Route& route,
-                     QueryStats& stats) const;
+  /// path cost, trace replay, load accounting (into `load_shard` when a
+  /// LoadAccountant is attached). Shared by run_batch and
+  /// run_resilient_with.
+  void observe_route(const Query& q, const Route& route, QueryStats& stats,
+                     telemetry::LoadAccountant::Shard* load_shard) const;
 
   /// Post-merge flush of the query_engine.{batches,queries,hops,failures}
   /// counters, on the calling thread.
@@ -292,6 +319,7 @@ class QueryEngine {
   bool level_tracking_ = false;
   telemetry::RouteTraceSink* sink_ = nullptr;
   telemetry::EventJournal* journal_ = nullptr;
+  telemetry::LoadAccountant* load_ = nullptr;
   telemetry::Counter* batches_counter_;
   telemetry::Counter* queries_counter_;
   telemetry::Counter* hops_counter_;

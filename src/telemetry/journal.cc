@@ -104,6 +104,22 @@ std::uint64_t EventJournal::revive(std::uint32_t node, std::uint64_t id,
   return record("revive", fault_fields(node, id, at));
 }
 
+std::uint64_t EventJournal::load_snapshot(
+    double t_ms,
+    std::span<const std::pair<std::uint32_t, std::uint64_t>> top_nodes) {
+  JsonValue fields = JsonValue::object();
+  fields.set("t_ms", JsonValue(t_ms));
+  JsonValue nodes = JsonValue::array();
+  for (const auto& [node, load] : top_nodes) {
+    JsonValue entry = JsonValue::object();
+    entry.set("node", JsonValue(static_cast<std::int64_t>(node)));
+    entry.set("load", JsonValue(load));
+    nodes.push_back(std::move(entry));
+  }
+  fields.set("nodes", std::move(nodes));
+  return record("load_snapshot", std::move(fields));
+}
+
 void EventJournal::flush() { os_->flush(); }
 
 std::vector<JsonValue> read_journal(std::istream& is) {

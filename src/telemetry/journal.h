@@ -13,7 +13,7 @@
 // Event envelope (every line):   {"seq": <u64>, "type": "<type>", ...}
 // Emitters in the library:
 //   DynamicCrescendo::set_journal  -> join / leave / repair
-//   EventSimulator::set_journal    -> lookup_failure
+//   EventSimulator::set_journal    -> lookup_failure / load_snapshot
 //   StructureAuditor callers       -> audit_snapshot (via audit_snapshot())
 //   FaultPlan::materialize         -> crash / revive (injected faults)
 //
@@ -27,8 +27,10 @@
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "telemetry/json_writer.h"
@@ -70,6 +72,12 @@ class EventJournal {
   std::uint64_t crash(std::uint32_t node, std::uint64_t id, std::uint64_t at);
   /// Injected revival; same fields as crash.
   std::uint64_t revive(std::uint32_t node, std::uint64_t id, std::uint64_t at);
+  /// Top-k loaded nodes at simulated time `t_ms` (one per aggregation
+  /// window; EventSimulator::set_load_snapshots). `top_nodes` pairs are
+  /// (node index, messages handled), hottest first.
+  std::uint64_t load_snapshot(
+      double t_ms,
+      std::span<const std::pair<std::uint32_t, std::uint64_t>> top_nodes);
 
   void flush();
 

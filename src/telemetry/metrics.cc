@@ -53,6 +53,7 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
     buckets_[static_cast<std::size_t>(i)] +=
         other.buckets_[static_cast<std::size_t>(i)];
   }
+  overflow_ += other.overflow_;
   count_ += other.count_;
   sum_ns_ += other.sum_ns_;
   if (other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;

@@ -19,6 +19,7 @@
 #define CANON_TELEMETRY_METRICS_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -51,7 +52,10 @@ class Gauge {
 /// Fixed-bucket log-scale duration histogram.
 ///
 /// Bucket 0 holds exact-zero durations; bucket i (i >= 1) holds durations
-/// in [2^(i-1), 2^i) nanoseconds, with the last bucket open-ended. The
+/// in [2^(i-1), 2^i) nanoseconds. Durations of 2^(kBuckets-1) ns and above
+/// do not fit any bucket and are tallied in an explicit overflow count
+/// (still included in count/sum/min/max) rather than silently clamped
+/// into the top bucket — reports expose it so saturation is visible. The
 /// bucket layout is compile-time fixed so record_ns is allocation-free and
 /// two histograms from different runs are always comparable bucket by
 /// bucket.
@@ -60,7 +64,12 @@ class LatencyHistogram {
   static constexpr int kBuckets = 64;
 
   void record_ns(std::uint64_t ns) {
-    ++buckets_[static_cast<std::size_t>(bucket_index(ns))];
+    const int idx = ns == 0 ? 0 : std::bit_width(ns);
+    if (idx < kBuckets) {
+      ++buckets_[static_cast<std::size_t>(idx)];
+    } else {
+      ++overflow_;
+    }
     ++count_;
     sum_ns_ += ns;
     if (count_ == 1 || ns < min_ns_) min_ns_ = ns;
@@ -86,6 +95,8 @@ class LatencyHistogram {
   std::uint64_t bucket_count(int i) const {
     return buckets_[static_cast<std::size_t>(i)];
   }
+  /// Samples too large for any bucket (>= 2^(kBuckets-1) ns).
+  std::uint64_t overflow_count() const { return overflow_; }
 
   /// Upper-bound quantile estimate (ms) from the bucket histogram: the
   /// exclusive upper edge of the bucket containing the q-th sample.
@@ -96,6 +107,7 @@ class LatencyHistogram {
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t overflow_ = 0;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ns_ = 0;
   std::uint64_t min_ns_ = 0;

@@ -35,6 +35,7 @@ JsonValue histogram_to_json(const LatencyHistogram& h) {
   o.set("max_ms", JsonValue(h.max_ms()));
   o.set("p50_ms", JsonValue(h.quantile_upper_ms(0.5)));
   o.set("p99_ms", JsonValue(h.quantile_upper_ms(0.99)));
+  o.set("overflow", JsonValue(h.overflow_count()));
   return o;
 }
 

@@ -1,0 +1,51 @@
+#include "telemetry/scoped_timer.h"
+
+namespace canon::telemetry {
+
+namespace {
+SpanLog* g_span_log = nullptr;
+}  // namespace
+
+SpanLog::SpanLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+void SpanLog::add(std::string_view name,
+                  std::chrono::steady_clock::time_point start,
+                  std::uint64_t dur_ns) {
+  SpanRecord rec;
+  rec.name = std::string(name);
+  const auto since_epoch = start - epoch_;
+  rec.ts_us =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              since_epoch)
+                              .count()) /
+      1e3;
+  if (rec.ts_us < 0) rec.ts_us = 0;  // span started before the log existed
+  rec.dur_us = static_cast<double>(dur_ns) / 1e3;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> SpanLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t SpanLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void SpanLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+SpanLog* span_log() { return g_span_log; }
+
+SpanLog* install_span_log(SpanLog* log) {
+  SpanLog* prev = g_span_log;
+  g_span_log = log;
+  return prev;
+}
+
+}  // namespace canon::telemetry

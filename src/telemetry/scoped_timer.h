@@ -5,15 +5,60 @@
 // resolved by name from the installed registry. When telemetry is off the
 // histogram pointer is null and the timer degrades to two clock reads with
 // no recording.
+//
+// Named timers additionally append a SpanRecord to the installed SpanLog
+// (install_span_log), which is how construction and maintenance phases
+// become "X" duration events in the Chrome/Perfetto trace export
+// (telemetry/trace_export.h). With no span log installed (the default) a
+// named timer pays one extra pointer test at stop.
 #ifndef CANON_TELEMETRY_SCOPED_TIMER_H
 #define CANON_TELEMETRY_SCOPED_TIMER_H
 
 #include <chrono>
+#include <mutex>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/metrics.h"
 
 namespace canon::telemetry {
+
+/// One completed named span, microseconds relative to the log's epoch.
+struct SpanRecord {
+  std::string name;
+  double ts_us = 0;   ///< start time since the SpanLog epoch
+  double dur_us = 0;  ///< duration
+
+  friend bool operator==(const SpanRecord&, const SpanRecord&) = default;
+};
+
+/// Collects completed ScopedTimer spans. Thread-safe (construction phases
+/// stop timers on the main thread today, but nothing should break if a
+/// worker ever owns one). Epoch is the log's construction time.
+class SpanLog {
+ public:
+  SpanLog();
+
+  /// Appends a completed span that started at `start` and ran `dur_ns`.
+  void add(std::string_view name, std::chrono::steady_clock::time_point start,
+           std::uint64_t dur_ns);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The process-wide span log, or nullptr when span capture is off (the
+/// default). install_span_log(nullptr) turns capture off again; the caller
+/// keeps ownership. Returns the previous log.
+SpanLog* span_log();
+SpanLog* install_span_log(SpanLog* log);
 
 class ScopedTimer {
  public:
@@ -21,9 +66,13 @@ class ScopedTimer {
   explicit ScopedTimer(LatencyHistogram* hist)
       : hist_(hist), start_(std::chrono::steady_clock::now()) {}
 
-  /// Resolves `name` against the installed registry (no-op if none).
+  /// Resolves `name` against the installed registry (no-op if none) and
+  /// remembers it for span capture. `name` must outlive the timer (every
+  /// caller passes a literal).
   explicit ScopedTimer(std::string_view name)
-      : ScopedTimer(maybe_histogram(name)) {}
+      : hist_(maybe_histogram(name)),
+        name_(name),
+        start_(std::chrono::steady_clock::now()) {}
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
@@ -37,6 +86,9 @@ class ScopedTimer {
       stopped_ = true;
       elapsed_ns_ = elapsed_now_ns();
       if (hist_) hist_->record_ns(elapsed_ns_);
+      if (!name_.empty()) {
+        if (SpanLog* log = span_log()) log->add(name_, start_, elapsed_ns_);
+      }
     }
     return static_cast<double>(elapsed_ns_) / 1e6;
   }
@@ -56,6 +108,7 @@ class ScopedTimer {
   }
 
   LatencyHistogram* hist_;
+  std::string_view name_;
   std::chrono::steady_clock::time_point start_;
   std::uint64_t elapsed_ns_ = 0;
   bool stopped_ = false;

@@ -1,0 +1,162 @@
+#include "telemetry/trace_export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace canon::telemetry {
+
+namespace {
+
+JsonValue metadata_event(std::string_view which, int pid, int tid,
+                         std::string_view name) {
+  JsonValue ev = JsonValue::object();
+  ev.set("name", JsonValue(which));
+  ev.set("ph", JsonValue("M"));
+  ev.set("pid", JsonValue(static_cast<std::int64_t>(pid)));
+  ev.set("tid", JsonValue(static_cast<std::int64_t>(tid)));
+  JsonValue args = JsonValue::object();
+  args.set("name", JsonValue(name));
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+std::string hex_key(std::uint64_t key) {
+  std::ostringstream os;
+  os << "0x" << std::hex << key;
+  return os.str();
+}
+
+}  // namespace
+
+void TraceExporter::set_process_name(int pid, std::string_view name) {
+  events_.push_back(metadata_event("process_name", pid, 0, name));
+}
+
+void TraceExporter::set_thread_name(int pid, int tid, std::string_view name) {
+  events_.push_back(metadata_event("thread_name", pid, tid, name));
+}
+
+void TraceExporter::add_complete(std::string_view name,
+                                 std::string_view category, double ts_us,
+                                 double dur_us, int pid, int tid,
+                                 JsonValue args) {
+  JsonValue ev = JsonValue::object();
+  ev.set("name", JsonValue(name));
+  ev.set("cat", JsonValue(category));
+  ev.set("ph", JsonValue("X"));
+  ev.set("ts", JsonValue(ts_us));
+  ev.set("dur", JsonValue(dur_us));
+  ev.set("pid", JsonValue(static_cast<std::int64_t>(pid)));
+  ev.set("tid", JsonValue(static_cast<std::int64_t>(tid)));
+  if (args.is_object()) ev.set("args", std::move(args));
+  events_.push_back(std::move(ev));
+}
+
+void TraceExporter::add_counter(std::string_view name, double ts_us,
+                                double value, int pid) {
+  JsonValue ev = JsonValue::object();
+  ev.set("name", JsonValue(name));
+  ev.set("ph", JsonValue("C"));
+  ev.set("ts", JsonValue(ts_us));
+  ev.set("pid", JsonValue(static_cast<std::int64_t>(pid)));
+  JsonValue args = JsonValue::object();
+  args.set("value", JsonValue(value));
+  ev.set("args", std::move(args));
+  events_.push_back(std::move(ev));
+}
+
+void TraceExporter::add_span_log(const SpanLog& log, int pid) {
+  for (const SpanRecord& span : log.snapshot()) {
+    add_complete(span.name, "phase", span.ts_us, span.dur_us, pid, 0);
+  }
+}
+
+void TraceExporter::add_lookup_traces(const RecordingTraceSink& sink,
+                                      std::size_t max_lookups, int pid) {
+  const auto& lookups = sink.lookups();
+  const std::size_t take = std::min(max_lookups, lookups.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto& lk = lookups[i];
+    const int tid = static_cast<int>(i) + 1;
+    // Real event-simulator timing when any hop carries it; otherwise a
+    // synthetic 1µs-per-hop timeline so hop order is still visible.
+    const bool timed =
+        std::any_of(lk.hops.begin(), lk.hops.end(), [](const HopRecord& h) {
+          return h.queue_ms > 0 || h.hop_ms > 0;
+        });
+    double t_us = 0;
+    for (const HopRecord& hop : lk.hops) {
+      const double dur_us =
+          timed ? std::max((hop.queue_ms + hop.hop_ms) * 1e3, 0.001) : 1.0;
+      JsonValue args = JsonValue::object();
+      args.set("from", JsonValue(static_cast<std::uint64_t>(hop.from)));
+      args.set("to", JsonValue(static_cast<std::uint64_t>(hop.to)));
+      args.set("level", JsonValue(static_cast<std::int64_t>(hop.level)));
+      args.set("candidates",
+               JsonValue(static_cast<std::uint64_t>(hop.candidates)));
+      if (timed) {
+        args.set("queue_ms", JsonValue(hop.queue_ms));
+        args.set("hop_ms", JsonValue(hop.hop_ms));
+      }
+      std::string name = "hop " + std::to_string(hop.from) + "->" +
+                         std::to_string(hop.to);
+      add_complete(name, "hop", t_us, dur_us, pid, tid, std::move(args));
+      t_us += dur_us;
+    }
+    // Enclosing slice for the whole lookup (emitted after its hops so the
+    // viewer nests the hops beneath it regardless of insertion order).
+    JsonValue args = JsonValue::object();
+    args.set("from", JsonValue(static_cast<std::uint64_t>(lk.from)));
+    args.set("key", JsonValue(hex_key(lk.key)));
+    args.set("ok", JsonValue(lk.ok));
+    args.set("terminal", JsonValue(static_cast<std::uint64_t>(lk.terminal)));
+    args.set("hops",
+             JsonValue(static_cast<std::uint64_t>(lk.hops.size())));
+    std::string name = "lookup " + hex_key(lk.key);
+    add_complete(name, "lookup", 0, std::max(t_us, 1.0), pid, tid,
+                 std::move(args));
+    set_thread_name(pid, tid, "lookup #" + std::to_string(i));
+  }
+}
+
+void TraceExporter::add_timeseries(const TimeSeriesRecorder& series, int pid) {
+  const double window_us = series.window_ms() * 1e3;
+  double live = -1;
+  const auto& windows = series.windows();
+  const double per_s = 1000.0 / series.window_ms();
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const auto& win = windows[w];
+    if (win.live >= 0) live = win.live;
+    const double ts = static_cast<double>(w) * window_us;
+    add_counter("lookups_per_s", ts,
+                static_cast<double>(win.completed) * per_s, pid);
+    add_counter("failures_per_s", ts,
+                static_cast<double>(win.failures) * per_s, pid);
+    add_counter("messages_per_s", ts,
+                static_cast<double>(win.messages) * per_s, pid);
+    if (live >= 0) add_counter("live_nodes", ts, live, pid);
+  }
+}
+
+JsonValue TraceExporter::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("displayTimeUnit", JsonValue("ms"));
+  doc.set("traceEvents", events_);
+  return doc;
+}
+
+void TraceExporter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceExporter: cannot open " + path);
+  }
+  to_json().write(out);
+  out << '\n';
+  if (!out) {
+    throw std::runtime_error("TraceExporter: write failed for " + path);
+  }
+}
+
+}  // namespace canon::telemetry

@@ -184,5 +184,82 @@ TEST(EventSim, HierarchicalLoadStaysHomogeneous) {
   EXPECT_LE(ratios[1], ratios[0] * 2.0);
 }
 
+TEST(EventSim, FaultPlanKillsNodesAtTheScheduledInstant) {
+  const auto net = small_net(200, 2, 1006);
+  const auto links = build_crescendo(net);
+  EventSimulator sim(net, links);
+  EXPECT_EQ(sim.live_nodes(), net.size());
+
+  // Crash half the network at t=50ms; lookups submitted before the crash
+  // complete, traffic arriving at dead nodes afterwards is lost.
+  FaultPlan plan = FaultPlan::fail_fraction(net.size(), 0.5, 99);
+  FaultPlan timed;
+  for (const FaultEvent& fe : plan.events()) timed.crash(fe.node, 50);
+  sim.set_fault_plan(&timed);
+
+  Rng rng(12);
+  for (int t = 0; t < 600; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    sim.submit(from, net.space().wrap(rng()), 0.2 * t);
+  }
+  sim.run();
+  EXPECT_EQ(sim.live_nodes(), net.size() - timed.events().size());
+
+  int failed_before = 0, failed_after = 0, ok_count = 0;
+  for (const auto& lookup : sim.lookups()) {
+    ok_count += lookup.ok;
+    if (!lookup.ok) {
+      // A fault-induced failure completes at the arrival instant, which
+      // can only be at or after the crash.
+      EXPECT_GE(lookup.completed_ms, 50.0);
+      (lookup.issued_ms < 50.0 ? failed_before : failed_after)++;
+    }
+  }
+  EXPECT_GT(ok_count, 0);
+  EXPECT_GT(failed_after, 0) << "half the network dead, lookups all fine?";
+}
+
+TEST(EventSim, TimeSeriesCountsSubmissionsCompletionsAndLiveNodes) {
+  const auto net = small_net(150, 2, 1007);
+  const auto links = build_crescendo(net);
+  EventSimulator sim(net, links);
+  telemetry::TimeSeriesRecorder series(10.0);
+
+  // Attach after one submission: the recorder must backfill it.
+  sim.submit(0, net.space().wrap(123456789), 0.0);
+  sim.set_timeseries(&series);
+
+  FaultPlan timed;
+  timed.crash(1, 20);
+  sim.set_fault_plan(&timed);
+
+  Rng rng(3);
+  const int kLookups = 200;
+  for (int t = 1; t < kLookups; ++t) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
+    sim.submit(from, net.space().wrap(rng()), 0.25 * t);
+  }
+  sim.run();
+
+  std::uint64_t issued = 0, completed = 0, messages = 0;
+  for (const auto& w : series.windows()) {
+    issued += w.issued;
+    completed += w.completed;
+    messages += w.messages;
+  }
+  EXPECT_EQ(issued, static_cast<std::uint64_t>(kLookups));
+  EXPECT_EQ(completed, static_cast<std::uint64_t>(kLookups));
+  std::uint64_t total_load = 0;
+  for (const auto l : sim.node_load()) total_load += l;
+  EXPECT_EQ(messages, total_load);
+
+  // The live-node gauge starts at the full population and drops by one
+  // in the window covering the crash.
+  const auto& first = series.windows().front();
+  EXPECT_EQ(first.live, static_cast<double>(net.size()));
+  EXPECT_EQ(series.windows()[series.window_index(20.0)].live,
+            static_cast<double>(net.size() - 1));
+}
+
 }  // namespace
 }  // namespace canon

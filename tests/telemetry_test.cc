@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "canon/crescendo.h"
@@ -18,7 +19,9 @@
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
 #include "telemetry/scoped_timer.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
 
 namespace canon {
 namespace {
@@ -393,6 +396,160 @@ TEST(RouteTrace, MetricsCountersTrackRouting) {
   EXPECT_EQ(reg.counter("ring_router.failures").value(), 0u);
   // build_crescendo ran inside the guard, so its phase timer recorded too.
   EXPECT_EQ(reg.histograms().at("build.crescendo_ms").count(), 1u);
+}
+
+// ------------------------------------------------------- overflow bucket
+
+TEST(LatencyHistogram, OverflowBucketCountsInsteadOfSaturating) {
+  LatencyHistogram h;
+  // The largest finite bucket covers [2^(kBuckets-2), 2^(kBuckets-1)).
+  const std::uint64_t top_floor =
+      LatencyHistogram::bucket_floor_ns(LatencyHistogram::kBuckets - 1);
+  h.record_ns(top_floor);          // last real bucket
+  h.record_ns(~std::uint64_t{0});  // beyond every bucket edge
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  // Overflow samples still participate in count/min/max and quantiles
+  // fall through to the observed max for them.
+  EXPECT_NEAR(h.max_ms(), static_cast<double>(~std::uint64_t{0}) / 1e6, 1e3);
+  EXPECT_NEAR(h.quantile_upper_ms(1.0), h.max_ms(), 1e-9);
+
+  LatencyHistogram other;
+  other.record_ns(~std::uint64_t{0});
+  other.merge(h);
+  EXPECT_EQ(other.overflow_count(), 2u);
+}
+
+// ----------------------------------------------------------- time series
+
+TEST(TimeSeries, WindowsRatesAndCarryForward) {
+  telemetry::TimeSeriesRecorder series(100.0);
+  EXPECT_THROW(telemetry::TimeSeriesRecorder(0.0), std::invalid_argument);
+  EXPECT_TRUE(series.empty());
+  EXPECT_EQ(series.window_index(-5.0), 0u);  // clamped
+  EXPECT_EQ(series.window_index(99.9), 0u);
+  EXPECT_EQ(series.window_index(100.0), 1u);
+
+  series.live_nodes(0.0, 64);
+  series.lookup_issued(10.0);
+  series.lookup_issued(20.0);
+  series.lookup_completed(30.0, true, 20.0);
+  series.message(40.0, 5.0);
+  // Window 1 is silent; window 2 sees a failure.
+  series.lookup_completed(250.0, false, 230.0);
+
+  ASSERT_EQ(series.windows().size(), 3u);
+  EXPECT_EQ(series.windows()[0].issued, 2u);
+  EXPECT_EQ(series.windows()[0].completed, 1u);
+  EXPECT_EQ(series.windows()[0].failures, 0u);
+  EXPECT_EQ(series.windows()[0].messages, 1u);
+  EXPECT_EQ(series.windows()[2].failures, 1u);
+
+  const JsonValue rows = series.to_json();
+  ASSERT_EQ(rows.size(), 3u);
+  const JsonValue& w0 = rows.items()[0];
+  EXPECT_DOUBLE_EQ(w0.get("t_ms")->as_double(), 0.0);
+  // 2 issued per 100ms window = 20/s.
+  EXPECT_DOUBLE_EQ(w0.get("issued_per_s")->as_double(), 20.0);
+  EXPECT_DOUBLE_EQ(w0.get("lookups_per_s")->as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(w0.get("mean_latency_ms")->as_double(), 20.0);
+  EXPECT_DOUBLE_EQ(w0.get("mean_queue_ms")->as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(w0.get("live_nodes")->as_double(), 64.0);
+  // The silent window carries the live-node count forward.
+  EXPECT_DOUBLE_EQ(rows.items()[1].get("live_nodes")->as_double(), 64.0);
+  EXPECT_DOUBLE_EQ(
+      rows.items()[2].get("failures_per_s")->as_double(), 10.0);
+}
+
+// ------------------------------------------------------ span log + trace
+
+TEST(SpanLog, ScopedTimerFeedsInstalledLog) {
+  telemetry::SpanLog log;
+  telemetry::SpanLog* prev = telemetry::install_span_log(&log);
+  {
+    telemetry::ScopedTimer t("build.test_phase_ms");
+    (void)t;
+  }
+  { telemetry::ScopedTimer anonymous(nullptr); (void)anonymous; }
+  telemetry::install_span_log(prev);
+  { telemetry::ScopedTimer after("build.after_ms"); (void)after; }
+
+  // Only the named timer that ran while the log was installed recorded.
+  ASSERT_EQ(log.size(), 1u);
+  const auto spans = log.snapshot();
+  EXPECT_EQ(spans[0].name, "build.test_phase_ms");
+  EXPECT_GE(spans[0].ts_us, 0.0);
+  EXPECT_GE(spans[0].dur_us, 0.0);
+}
+
+TEST(TraceExport, AssemblesLoadableChromeTraceJson) {
+  telemetry::SpanLog log;
+  telemetry::SpanLog* prev = telemetry::install_span_log(&log);
+  { telemetry::ScopedTimer t("build.alpha_ms"); (void)t; }
+  telemetry::install_span_log(prev);
+
+  telemetry::RecordingTraceSink sink;
+  const std::uint64_t id = sink.begin_lookup(3, 42);
+  telemetry::HopRecord hop;
+  hop.lookup = id;
+  hop.from = 3;
+  hop.to = 5;
+  hop.hop_index = 0;
+  hop.level = 1;
+  sink.on_hop(hop);
+  sink.end_lookup(id, true, 5);
+
+  telemetry::TimeSeriesRecorder series(50.0);
+  series.lookup_completed(10.0, true, 4.0);
+  series.live_nodes(10.0, 8);
+
+  telemetry::TraceExporter exporter;
+  exporter.set_process_name(telemetry::TraceExporter::kBuildPid,
+                            "construction phases");
+  exporter.add_span_log(log);
+  exporter.add_lookup_traces(sink);
+  exporter.add_timeseries(series);
+
+  // Round-trip through the serializer: the document must parse and carry
+  // the three standard track kinds.
+  const JsonValue doc = JsonValue::parse(exporter.to_json().dump());
+  EXPECT_EQ(doc.get("displayTimeUnit")->as_string(), "ms");
+  const JsonValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), exporter.event_count());
+  bool saw_span = false, saw_hop = false, saw_counter = false,
+       saw_meta = false;
+  for (const JsonValue& ev : events->items()) {
+    const std::string& ph = ev.get("ph")->as_string();
+    if (ph == "X") {
+      EXPECT_GE(ev.get("ts")->as_double(), 0.0);
+      EXPECT_GE(ev.get("dur")->as_double(), 0.0);
+      const std::string& name = ev.get("name")->as_string();
+      saw_span = saw_span || name == "build.alpha_ms";
+      saw_hop = saw_hop || name.rfind("hop ", 0) == 0;
+    } else if (ph == "C") {
+      saw_counter = true;
+    } else if (ph == "M") {
+      saw_meta = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_hop);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_meta);
+
+  // write_file emits the same document, and rejects unwritable paths.
+  const std::string path =
+      testing::TempDir() + "/telemetry_trace_test.json";
+  exporter.write_file(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NO_THROW(JsonValue::parse(buffer.str()));
+  std::remove(path.c_str());
+  EXPECT_THROW(exporter.write_file("/nonexistent-dir/trace.json"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -10,9 +10,18 @@
 //                          audited family additionally routes --trials
 //                          lookups through its failure-aware router over a
 //                          FaultPlan killing that fraction of nodes, plus
-//                          a liveness audit of the survivors. Exit 0 iff
-//                          no structural violations and every measured
-//                          success rate reaches --min-success.
+//                          a liveness audit of the survivors. With
+//                          --load-report each family also routes --trials
+//                          Zipf(1.25) hot-key lookups with a LoadAccountant
+//                          attached (load spread, hotspots, per-domain
+//                          shares, the §5 confinement ratio). With
+//                          --trace-out=<path> the run writes a Chrome
+//                          trace-event JSON (construction-phase spans plus
+//                          a sampled per-hop lookup trace of the first
+//                          family) loadable in chrome://tracing or
+//                          ui.perfetto.dev. Exit 0 iff no structural
+//                          violations and every measured success rate
+//                          reaches --min-success.
 //   churn   (--churn=N)    Run N join/leave operations through
 //                          DynamicCrescendo, journaling every event to
 //                          --journal-out (JSONL) and appending an
@@ -56,6 +65,10 @@
 #include "overlay/population.h"
 #include "overlay/query_engine.h"
 #include "telemetry/journal.h"
+#include "telemetry/load_stats.h"
+#include "telemetry/scoped_timer.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_export.h"
 
 namespace {
 
@@ -80,6 +93,8 @@ struct DoctorOptions {
   int fanout = 10;
   std::uint64_t seed = 42;
   FaultOptions faults;
+  std::string trace_out;     ///< Chrome/Perfetto trace path ("" = off)
+  bool load_report = false;  ///< per-family load observatory tables
 };
 
 void print_report(std::string_view name, const audit::AuditReport& report) {
@@ -180,6 +195,39 @@ bool run_fault_phase(std::string_view name, const OverlayNetwork& net,
   return stats.success_rate() >= f.min_success;
 }
 
+/// Routes `trials` Zipf(1.25) hot-key lookups through `router` with a
+/// LoadAccountant attached: per-node load spread, hotspot attribution and
+/// the §5 domain-confinement ratio, printed and appended to `row` as a
+/// "load" object.
+void run_load_report(const OverlayNetwork& net,
+                     const registry::FamilyRouter& router,
+                     const DoctorOptions& opt, telemetry::JsonValue& row) {
+  telemetry::LoadAccountant load(net.domains(), net.ids());
+  QueryEngine engine(net);
+  engine.set_load(&load);
+  const auto queries = zipf_workload(net, opt.faults.trials,
+                                     Rng(opt.seed ^ 0x10adULL));
+  router.run(engine, queries);
+
+  const auto hot_nodes = load.top_nodes(1);
+  const auto hot_keys = load.top_keys(1);
+  std::printf(
+      "      load: %llu zipf lookups -> gini %.3f, max/mean %.2f, "
+      "confinement %.3f",
+      static_cast<unsigned long long>(load.queries()), load.gini(),
+      load.max_mean_ratio(), load.confinement_ratio());
+  if (!hot_nodes.empty()) {
+    std::printf(", hottest node %u (%llu msgs)", hot_nodes[0].node,
+                static_cast<unsigned long long>(hot_nodes[0].total));
+  }
+  if (!hot_keys.empty()) {
+    std::printf(", hottest key %llu lookups",
+                static_cast<unsigned long long>(hot_keys[0].lookups));
+  }
+  std::printf("\n");
+  row.set("load", load.to_json());
+}
+
 int run_static(bench::BenchRun& run, const DoctorOptions& opt,
                const std::string& family, bool all,
                const std::string& journal_path) {
@@ -199,6 +247,7 @@ int run_static(bench::BenchRun& run, const DoctorOptions& opt,
 
   std::size_t total_violations = 0;
   bool success_ok = true;
+  telemetry::RecordingTraceSink trace_sink;  // first family's sample
   for (const std::string_view f : families) {
     const LinkTable links = registry::build_family(net, f, opt.seed);
     const audit::AuditReport report = registry::audit_family(f, net, links);
@@ -209,9 +258,40 @@ int run_static(bench::BenchRun& run, const DoctorOptions& opt,
       success_ok &=
           run_fault_phase(f, net, links, opt, journal.get(), row);
     }
+    if (opt.load_report) {
+      run_load_report(net, registry::family(f).make_router(net, links), opt,
+                      row);
+    }
+    if (!opt.trace_out.empty() && trace_sink.lookups().empty()) {
+      // Sample a small traced batch through the first family (the sink
+      // forces the engine serial, so keep it off the main measurements).
+      QueryEngine engine(net);
+      engine.set_trace(&trace_sink);
+      const std::uint64_t sample = std::min<std::uint64_t>(opt.faults.trials,
+                                                           64);
+      const auto queries =
+          uniform_workload(net, sample, Rng(opt.seed ^ 0x7eaceULL));
+      registry::family(f).make_router(net, links).run(engine, queries);
+    }
     run.report().add_row(std::move(row));
   }
   if (journal) journal->flush();
+  if (!opt.trace_out.empty()) {
+    telemetry::TraceExporter exporter;
+    exporter.set_process_name(telemetry::TraceExporter::kBuildPid,
+                              "construction phases");
+    exporter.set_process_name(telemetry::TraceExporter::kLookupPid,
+                              "sampled lookups (" +
+                                  std::string(families.front()) + ")");
+    if (const telemetry::SpanLog* spans = telemetry::span_log()) {
+      exporter.add_span_log(*spans);
+    }
+    exporter.add_lookup_traces(trace_sink);
+    exporter.write_file(opt.trace_out);
+    std::printf("\ntrace: %zu events -> %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                exporter.event_count(), opt.trace_out.c_str());
+  }
   std::printf("\n%s\n", total_violations == 0
                             ? "all audited structures are healthy"
                             : "structural violations detected");
@@ -431,6 +511,16 @@ int main(int argc, char** argv) {
     if (opt.faults.active() || run.present("min-success")) {
       opt.faults.min_success = run.f64("min-success", 0.0);
     }
+    // Observatory flags (static mode; gated on present() like the fault
+    // flags so default reports stay byte-identical).
+    if (run.present("trace-out")) {
+      opt.trace_out = run.str("trace-out", "");
+    }
+    if (run.present("load-report")) {
+      opt.load_report = run.boolean("load-report", true);
+    }
+    telemetry::SpanLog spans;  // construction-phase spans for --trace-out
+    if (!opt.trace_out.empty()) telemetry::install_span_log(&spans);
 
     run.header("canon_doctor: structural health report",
                "invariants of Sections 2.1, 2.3, 3.4 (audit battery)");

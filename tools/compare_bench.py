@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh micro-bench report against a
+committed baseline.
+
+    compare_bench.py <baseline.json> <fresh.json> [--tolerance=0.25]
+                     [--normalize] [--metric=real_time] [--run=<name>]
+
+The baseline is either a committed BENCH_*.json trajectory file (the
+per-machine envelope with runs.<bench>.threads1 inside — see
+BENCH_routing.json) or a plain bench report with a top-level "series".
+The fresh report is a plain --json report from the same binary. Rows are
+matched by "name"; only names present in the baseline are gated, so new
+benchmarks can land before their baseline does, while a baseline row
+missing from the fresh report fails the gate (a benchmark was removed or
+renamed without regenerating the baseline). An envelope bundling several
+binaries' runs (BENCH_construction.json carries both micros) is
+restricted to one with --run=<name>.
+
+Default mode gates each row's metric at +/-tolerance of the baseline —
+meaningful only on the machine class that produced the baseline. With
+--normalize the per-row ratios are first divided by their geometric mean,
+cancelling any uniform machine-speed difference; the gate then catches a
+*single* benchmark drifting against the rest, which is the
+machine-portable signal CI wants. In both modes an overall geomean drift
+line is printed for the perf trajectory (docs/PERFORMANCE.md).
+
+Exit 0 when every gated row is within tolerance, 1 otherwise.
+"""
+import json
+import math
+import sys
+
+
+def load_series(path, run_name=None):
+    """Returns {name: row} for a baseline envelope or a plain report."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "series" in doc:
+        series = doc["series"]
+    elif "runs" in doc:
+        # BENCH_*.json envelope: take every run's threads1 series (the
+        # only numbers the trajectory files treat as baseline), or just
+        # --run's when the envelope bundles several binaries.
+        if run_name is not None and run_name not in doc["runs"]:
+            raise SystemExit(
+                f"{path}: no run {run_name!r} (has {sorted(doc['runs'])})")
+        series = []
+        for name, run in doc["runs"].items():
+            if run_name is not None and name != run_name:
+                continue
+            series.extend(run.get("threads1", {}).get("series", []))
+    else:
+        raise SystemExit(f"{path}: neither a report nor a BENCH envelope")
+    rows = {}
+    for row in series:
+        if "name" in row:
+            rows[row["name"]] = row
+    if not rows:
+        raise SystemExit(f"{path}: no named series rows")
+    return rows
+
+
+def main():
+    paths, tolerance, normalize, metric, run = [], 0.25, False, "real_time", None
+    for arg in sys.argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg == "--normalize":
+            normalize = True
+        elif arg.startswith("--metric="):
+            metric = arg.split("=", 1)[1]
+        elif arg.startswith("--run="):
+            run = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        raise SystemExit(__doc__)
+    baseline, fresh = load_series(paths[0], run), load_series(paths[1])
+
+    missing = [n for n in baseline
+               if n not in fresh and metric in baseline[n]]
+    ratios = {}  # name -> fresh/baseline for the gated metric
+    for name, base_row in baseline.items():
+        if name not in fresh or metric not in base_row:
+            continue
+        base, cur = base_row[metric], fresh[name].get(metric)
+        if cur is None or base <= 0 or cur <= 0:
+            continue
+        ratios[name] = cur / base
+    new = sorted(n for n in fresh if n not in baseline)
+
+    if not ratios and not missing:
+        raise SystemExit("no comparable rows between the two reports")
+    geomean = (math.exp(sum(math.log(r) for r in ratios.values()) /
+                        len(ratios)) if ratios else 1.0)
+
+    failures = list(missing)
+    print(f"{len(ratios)} rows compared on {metric!r} "
+          f"(tolerance +/-{tolerance:.0%}"
+          f"{', normalized by geomean' if normalize else ''})")
+    for name in sorted(ratios):
+        ratio = ratios[name]
+        gated = ratio / geomean if normalize else ratio
+        verdict = "ok"
+        if not (1 - tolerance <= gated <= 1 + tolerance):
+            verdict = "REGRESSION" if gated > 1 else "FASTER?"
+            failures.append(name)
+        print(f"  {name:<44} {ratio:7.3f}x"
+              f"{f'  ({gated:.3f}x vs fleet)' if normalize else '':<20}"
+              f"  {verdict}")
+    print(f"geomean drift: {geomean:.3f}x "
+          f"({'slower' if geomean > 1 else 'faster'} than baseline)")
+    for name in missing:
+        print(f"  {name:<44} MISSING from fresh report")
+    for name in new:
+        print(f"  {name:<44} new (no baseline yet, not gated)")
+
+    if failures:
+        print(f"FAIL: {len(failures)} row(s) outside tolerance")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
