@@ -1,0 +1,112 @@
+// Mega-scale crescendo: streamed construction and batch lookups at
+// 10^6..10^7 nodes (docs/PERFORMANCE.md "Scaling to millions of nodes").
+//
+// Each row builds a fresh population of n nodes (SoA metadata), streams
+// the Crescendo link table shard by shard (build_crescendo_streamed), and
+// fires --lookups uniform queries through the batch QueryEngine's probe
+// hot path. Reported per row:
+//
+//   real_time        link-construction wall clock in ms (the gated metric
+//                    — tools/compare_bench.py matches micro-bench reports
+//                    by "name" and gates "real_time")
+//   build_s          the same wall clock in seconds
+//   pop_s            population generation (IDs + hierarchy + sort)
+//   peak_rss_mb      process high-water RSS after the row's build; a
+//                    monotone high-water mark, so rows must be read in
+//                    ascending-n order as "peak so far"
+//   links            total directed links
+//   lookups_per_sec  probe-mode batch throughput
+//   mean_hops        mean hop count over OK lookups
+//
+// Row names are "crescendo/<n>". Sizes quadruple from --min-nodes to
+// --max-nodes; the committed BENCH_scale.json carries a smoke run
+// (2^18 + 2^20, gated in CI via --run=bench_scale) and a full 2^22 run
+// for the trajectory. Everything here is deterministic at any --threads;
+// only the wall clocks move.
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "canon/crescendo.h"
+#include "common/table.h"
+#include "overlay/population.h"
+#include "overlay/query_engine.h"
+#include "overlay/routing.h"
+
+using namespace canon;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchRun run(argc, argv, "bench_scale");
+  const std::uint64_t min_n = run.u64("min-nodes", std::uint64_t{1} << 18);
+  const std::uint64_t max_n = run.u64("max-nodes", std::uint64_t{1} << 20);
+  const std::uint64_t lookups = run.u64("lookups", 100000);
+  const int levels = static_cast<int>(run.u64("levels", 3));
+  const std::uint64_t shard_nodes = run.u64("shard-nodes", kStreamShardNodes);
+  run.header("Mega-scale crescendo: streamed build + batch lookups",
+             "construction/lookup throughput at 10^6+ nodes "
+             "(32-bit hot paths, SoA metadata, streamed CSR)");
+
+  TextTable table({"nodes", "pop s", "build s", "peak RSS MB", "links",
+                   "Mlookups/s", "mean hops"});
+  for (std::uint64_t n = min_n; n <= max_n; n *= 4) {
+    auto start = std::chrono::steady_clock::now();
+    const auto net = bench::bench_population(n, levels, run.seed);
+    const double pop_s = seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const auto links = build_crescendo_streamed(net, shard_nodes);
+    const double build_s = seconds_since(start);
+    const double rss_mb = bench::peak_rss_mb();
+
+    const RingRouter router(net, links);
+    QueryEngine engine(net);
+    const auto queries = uniform_workload(net, lookups, Rng(run.seed));
+    start = std::chrono::steady_clock::now();
+    const QueryStats stats = engine.run(queries, router);
+    const double query_s = seconds_since(start);
+    if (stats.failures != 0) {
+      std::cerr << "routing failure (broken structure)\n";
+      return 1;
+    }
+    const double lookups_per_sec =
+        query_s > 0 ? static_cast<double>(lookups) / query_s : 0.0;
+
+    table.add_row({TextTable::num(n), TextTable::num(pop_s, 2),
+                   TextTable::num(build_s, 2), TextTable::num(rss_mb, 0),
+                   TextTable::num(links.total_links()),
+                   TextTable::num(lookups_per_sec / 1e6, 2),
+                   TextTable::num(stats.hops.mean(), 2)});
+    if (run.json_enabled()) {
+      run.metrics().gauge("build.peak_rss_mb").set(rss_mb);
+      telemetry::JsonValue row = telemetry::JsonValue::object();
+      row.set("name",
+              telemetry::JsonValue("crescendo/" + std::to_string(n)));
+      row.set("nodes", telemetry::JsonValue(n));
+      row.set("levels", telemetry::JsonValue(
+                            static_cast<std::int64_t>(levels)));
+      row.set("real_time", telemetry::JsonValue(build_s * 1e3));
+      row.set("build_s", telemetry::JsonValue(build_s));
+      row.set("pop_s", telemetry::JsonValue(pop_s));
+      row.set("peak_rss_mb", telemetry::JsonValue(rss_mb));
+      row.set("links", telemetry::JsonValue(links.total_links()));
+      row.set("lookups", telemetry::JsonValue(lookups));
+      row.set("lookups_per_sec", telemetry::JsonValue(lookups_per_sec));
+      row.set("mean_hops", telemetry::JsonValue(stats.hops.mean()));
+      run.report().add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(peak RSS is a process high-water mark: read rows in "
+               "ascending-n order as \"peak so far\")\n";
+  return run.finish();
+}

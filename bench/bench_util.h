@@ -22,6 +22,8 @@
 #ifndef CANON_BENCH_BENCH_UTIL_H
 #define CANON_BENCH_BENCH_UTIL_H
 
+#include <sys/resource.h>
+
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
@@ -53,6 +55,18 @@ inline OverlayNetwork bench_population(std::size_t n, int levels,
   spec.hierarchy.levels = levels;
   spec.hierarchy.fanout = 10;
   return make_population(spec, rng);
+}
+
+/// The process's peak resident set size in MB (getrusage high-water mark;
+/// ru_maxrss is in KB on Linux). Monotone over the process lifetime, so a
+/// bench that reports per-phase values must sample in ascending-size
+/// order and read each value as "peak so far". Only the scale bench
+/// records it (as the build.peak_rss_mb gauge) — the figure benches leave
+/// their reports free of machine-dependent gauges beyond timings.
+inline double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
 inline void header(const char* title, const char* paper_ref) {

@@ -40,6 +40,14 @@ Five modes:
     §5 confinement ratio exactly 1.0 for every hierarchical row) plus the
     crash_curve row's time series (windows ordered, failures only after
     the crash point, live-node count dropping by the crash count).
+
+  check_json_schema.py --scale <bench_scale_binary>
+    Runs the mega-scale bench with small parameters and asserts the
+    per-row schema (name, build wall clock, peak RSS, link count, lookup
+    throughput, mean hops), that the build.peak_rss_mb gauge is recorded,
+    that every row routed its full lookup batch without failures, and
+    that peak RSS is non-decreasing in ascending-n row order (it is a
+    process high-water mark).
 """
 import json
 import os
@@ -342,11 +350,57 @@ def check_load(binary):
         f"{crash['crashed']}")
 
 
+def check_scale(binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "report.json")
+        subprocess.run(
+            [binary, "--min-nodes=4096", "--max-nodes=16384",
+             "--lookups=2000", f"--json={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+    check_report_envelope(doc)
+    assert doc["bench"] == "bench_scale"
+    assert doc["metrics"]["gauges"].get("build.peak_rss_mb", 0) > 0, (
+        "build.peak_rss_mb gauge missing")
+    assert len(doc["series"]) == 2, f"expected 2 rows (4096, 16384)"
+    prev_rss = 0.0
+    for row in doc["series"]:
+        for key in ("name", "nodes", "real_time", "build_s", "pop_s",
+                    "peak_rss_mb", "links", "lookups", "lookups_per_sec",
+                    "mean_hops"):
+            assert key in row, f"scale row missing {key!r}"
+        assert row["name"] == f"crescendo/{row['nodes']}", row["name"]
+        assert row["real_time"] > 0 and row["build_s"] > 0, row
+        assert row["links"] > row["nodes"], (
+            f"{row['nodes']} nodes carry only {row['links']} links")
+        assert row["lookups_per_sec"] > 0, row
+        assert row["mean_hops"] > 1.0, row
+        # Peak RSS is a process high-water mark: non-decreasing in
+        # ascending-n row order.
+        assert row["peak_rss_mb"] >= prev_rss > -1, row
+        prev_rss = row["peak_rss_mb"]
+    counters = doc["metrics"]["counters"]
+    assert counters["query_engine.queries"] == 2 * 2000
+    assert counters["query_engine.failures"] == 0
+
+
+SCALE_WALL_CLOCK_FIELDS = ("real_time", "build_s", "pop_s", "peak_rss_mb",
+                           "lookups_per_sec")
+
+
 def strip_timing(doc):
     """Removes the only report fields allowed to vary with --threads."""
     doc["params"].pop("threads", None)
     doc["metrics"].pop("gauges", None)
     doc["metrics"].pop("histograms", None)
+    if doc.get("bench") == "bench_scale":
+        # The scale bench reports wall clocks and RSS per series row; the
+        # determinism contract covers the structural fields that remain
+        # (nodes, links, lookups, mean_hops).
+        for row in doc["series"]:
+            for field in SCALE_WALL_CLOCK_FIELDS:
+                row.pop(field, None)
     return doc
 
 
@@ -374,6 +428,8 @@ def main():
         check_threads_invariant(sys.argv[2], sys.argv[3:])
     elif sys.argv[1] == "--load":
         check_load(sys.argv[2])
+    elif sys.argv[1] == "--scale":
+        check_scale(sys.argv[2])
     else:
         check_bench(sys.argv[1])
     print("ok")

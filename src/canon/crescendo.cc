@@ -6,7 +6,7 @@
 
 namespace canon {
 
-void add_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
+void add_crescendo_links(const OverlayNetwork& net, NodeIndex m,
                          LinkTable& out) {
   const auto& chain = net.domains().domain_chain(m);
   const int leaf = static_cast<int>(chain.size()) - 1;
@@ -22,6 +22,16 @@ void add_crescendo_links(const OverlayNetwork& net, std::uint32_t m,
                       net.domain_ring(chain[static_cast<std::size_t>(level)]),
                       m, limit, out);
   }
+}
+
+LinkTable build_crescendo_streamed(const OverlayNetwork& net,
+                                   std::size_t shard_nodes) {
+  telemetry::ScopedTimer timer("build.crescendo_streamed_ms");
+  return LinkTable::build_streaming(
+      net.size(), net.ids(), shard_nodes,
+      [&net](NodeIndex m, LinkTable& sink) {
+        add_crescendo_links(net, m, sink);
+      });
 }
 
 LinkTable build_crescendo(const OverlayNetwork& net) {

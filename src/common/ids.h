@@ -16,6 +16,20 @@ namespace canon {
 /// A node or key identifier. Only the low `bits` (<= 64) are meaningful.
 using NodeId = std::uint64_t;
 
+/// A node's position 0..n-1 in an ID-sorted population. Deliberately 32
+/// bits: every CSR row, routing scratch buffer and query-engine shard
+/// stores node *indices*, so the compact type halves the resident
+/// link-table footprint and doubles the candidates per cache line on the
+/// greedy scans. 64-bit NodeId is kept only for key-space arithmetic.
+/// 2^32 - 1 nodes is far beyond the 10^6..10^7 populations the scale
+/// benches target (see docs/PERFORMANCE.md "Scaling to millions of
+/// nodes").
+using NodeIndex = std::uint32_t;
+
+/// Sentinel for "no node" in NodeIndex-valued hot paths (RingView::kNone
+/// aliases it).
+inline constexpr NodeIndex kInvalidNodeIndex = 0xFFFFFFFFu;
+
 /// Number of bits in the default identifier space (matches the paper's
 /// 32-bit experiments).
 inline constexpr int kDefaultIdBits = 32;

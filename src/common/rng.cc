@@ -39,9 +39,32 @@ std::vector<NodeId> sample_unique_ids(std::size_t count, const IdSpace& space,
     throw std::invalid_argument(
         "sample_unique_ids: space too small for requested count");
   }
-  std::unordered_set<NodeId> seen;
   std::vector<NodeId> ids;
   ids.reserve(count);
+  // Membership tracking only decides which draws are accepted, so the two
+  // branches below produce identical ID sequences for the same rng: both
+  // accept the first occurrence of each drawn id, in draw order.
+  if (space.bits() <= 32 &&
+      space.size() / 8.0 <= static_cast<double>(count) * 32.0) {
+    // Dense bitmap: when the sample is a large fraction of the id space
+    // (mega-scale populations in 24-32 bit spaces), 2^bits bits cost less
+    // than the hash set's ~32 bytes per entry and test-and-set is one
+    // word access instead of a probe chain.
+    std::vector<std::uint64_t> seen(
+        (static_cast<std::size_t>(space.mask()) >> 6) + 1);
+    while (ids.size() < count) {
+      const NodeId id = space.wrap(rng());
+      std::uint64_t& word = seen[static_cast<std::size_t>(id >> 6)];
+      const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+      if (!(word & bit)) {
+        word |= bit;
+        ids.push_back(id);
+      }
+    }
+    return ids;
+  }
+  std::unordered_set<NodeId> seen;
+  seen.reserve(count + count / 4);
   while (ids.size() < count) {
     const NodeId id = space.wrap(rng());
     if (seen.insert(id).second) ids.push_back(id);

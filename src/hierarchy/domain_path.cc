@@ -5,27 +5,32 @@
 namespace canon {
 
 int DomainPath::lca_depth(const DomainPath& other) const {
-  const int limit = std::min(depth(), other.depth());
-  int d = 0;
-  while (d < limit && branches_[static_cast<std::size_t>(d)] ==
-                          other.branches_[static_cast<std::size_t>(d)]) {
-    ++d;
-  }
-  return d;
+  return view().lca_depth(other.view());
 }
 
 bool DomainPath::in_domain_of(const DomainPath& other, int level) const {
-  if (level < 0 || level > other.depth() || level > depth()) return false;
-  return lca_depth(other) >= level;
+  return view().in_domain_of(other.view(), level);
+}
+
+namespace {
+
+std::string branches_to_string(std::span<const std::uint16_t> branches) {
+  std::string out;
+  for (std::size_t i = 0; i < branches.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(branches[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DomainPathView::to_string() const {
+  return branches_to_string(branches_);
 }
 
 std::string DomainPath::to_string() const {
-  std::string out;
-  for (std::size_t i = 0; i < branches_.size(); ++i) {
-    if (i > 0) out += '.';
-    out += std::to_string(branches_[i]);
-  }
-  return out;
+  return branches_to_string({branches_.data(), branches_.size()});
 }
 
 }  // namespace canon

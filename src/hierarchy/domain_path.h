@@ -5,15 +5,74 @@
 // its own path from the root, and any two nodes can compute their lowest
 // common ancestor (LCA) from their paths — exactly the two capabilities the
 // paper demands.
+//
+// Two representations share the same semantics:
+//
+// * DomainPath — the owning value type (one heap vector per path). Fine
+//   for construction inputs, examples and tests.
+// * DomainPathView — a non-owning span over branch components stored
+//   elsewhere, e.g. in OverlayNetwork's flat structure-of-arrays path
+//   pool. At 10^6+ nodes the pooled layout replaces n separate vector
+//   allocations (24-byte headers plus allocator slop each) with two flat
+//   arrays, which is what makes mega-scale populations fit in memory.
 #ifndef CANON_HIERARCHY_DOMAIN_PATH_H
 #define CANON_HIERARCHY_DOMAIN_PATH_H
 
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace canon {
+
+/// Non-owning view of a branch-index path (see file comment). Cheap to
+/// copy; the underlying storage must outlive the view.
+class DomainPathView {
+ public:
+  DomainPathView() = default;
+  explicit DomainPathView(std::span<const std::uint16_t> branches)
+      : branches_(branches) {}
+
+  int depth() const { return static_cast<int>(branches_.size()); }
+
+  std::uint16_t branch(int level) const {
+    return branches_[static_cast<std::size_t>(level)];
+  }
+
+  std::span<const std::uint16_t> branches() const { return branches_; }
+
+  /// Depth of the lowest common domain of this path and `other`:
+  /// 0 means only the root is shared.
+  int lca_depth(DomainPathView other) const {
+    const int limit = depth() < other.depth() ? depth() : other.depth();
+    int d = 0;
+    while (d < limit && branches_[static_cast<std::size_t>(d)] ==
+                            other.branches_[static_cast<std::size_t>(d)]) {
+      ++d;
+    }
+    return d;
+  }
+
+  /// True if this node lies inside the domain identified by the first
+  /// `level` components of `other` (level 0 = root = always true).
+  bool in_domain_of(DomainPathView other, int level) const {
+    if (level < 0 || level > other.depth() || level > depth()) return false;
+    return lca_depth(other) >= level;
+  }
+
+  /// Dotted representation, e.g. "2.0.7" ("" for the empty path).
+  std::string to_string() const;
+
+  friend bool operator==(DomainPathView a, DomainPathView b) {
+    return a.branches_.size() == b.branches_.size() &&
+           std::equal(a.branches_.begin(), a.branches_.end(),
+                      b.branches_.begin());
+  }
+
+ private:
+  std::span<const std::uint16_t> branches_;
+};
 
 /// The branch-index path from the root domain to a node's leaf domain.
 /// An empty path means the node lives directly under the root (flat DHT).
@@ -26,6 +85,9 @@ class DomainPath {
       : branches_(std::move(branches)) {}
   DomainPath(std::initializer_list<std::uint16_t> branches)
       : branches_(branches) {}
+  /// Materializes an owning copy of a view.
+  explicit DomainPath(DomainPathView view)
+      : branches_(view.branches().begin(), view.branches().end()) {}
 
   /// Number of components; the node's leaf domain is at depth `depth()`.
   int depth() const { return static_cast<int>(branches_.size()); }
@@ -36,6 +98,11 @@ class DomainPath {
   }
 
   const std::vector<std::uint16_t>& branches() const { return branches_; }
+
+  /// Non-owning view over this path (valid while *this is alive).
+  DomainPathView view() const {
+    return DomainPathView({branches_.data(), branches_.size()});
+  }
 
   /// Depth of the lowest common domain of this path and `other`:
   /// 0 means only the root is shared.
@@ -52,6 +119,31 @@ class DomainPath {
 
  private:
   std::vector<std::uint16_t> branches_;
+};
+
+/// A packed set of domain paths in structure-of-arrays form: path i's
+/// branches occupy branches[offsets[i] .. offsets[i + 1]). The flat layout
+/// is what OverlayNetwork stores per node and what the mega-scale
+/// generators emit directly, skipping one heap allocation per node.
+struct DomainPathPool {
+  std::vector<std::uint32_t> offsets;   ///< node_count + 1 entries
+  std::vector<std::uint16_t> branches;  ///< packed branch components
+
+  std::size_t size() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+
+  DomainPathView view(std::size_t i) const {
+    return DomainPathView({branches.data() + offsets[i],
+                           static_cast<std::size_t>(offsets[i + 1] -
+                                                    offsets[i])});
+  }
+
+  /// Appends one path (the streaming emit used by the generators).
+  void push_back(DomainPathView path) {
+    if (offsets.empty()) offsets.push_back(0);
+    branches.insert(branches.end(), path.branches().begin(),
+                    path.branches().end());
+    offsets.push_back(static_cast<std::uint32_t>(branches.size()));
+  }
 };
 
 }  // namespace canon

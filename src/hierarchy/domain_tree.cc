@@ -6,26 +6,86 @@
 
 namespace canon {
 
+namespace {
+
+/// Flattens owning paths into the (offsets, branches) pool shape used by
+/// the structure-of-arrays constructor.
+void flatten_paths(const std::vector<DomainPath>& paths,
+                   std::vector<std::uint32_t>& offsets,
+                   std::vector<std::uint16_t>& branches) {
+  offsets.resize(paths.size() + 1);
+  offsets[0] = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    total += static_cast<std::size_t>(paths[i].depth());
+    offsets[i + 1] = static_cast<std::uint32_t>(total);
+  }
+  branches.reserve(total);
+  for (const DomainPath& p : paths) {
+    branches.insert(branches.end(), p.branches().begin(), p.branches().end());
+  }
+}
+
+}  // namespace
+
 DomainTree::DomainTree(const std::vector<DomainPath>& paths,
                        const std::vector<NodeId>& ids) {
   if (paths.size() != ids.size()) {
     throw std::invalid_argument("DomainTree: paths/ids size mismatch");
   }
-  const std::size_t n = paths.size();
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint16_t> branches;
+  flatten_paths(paths, offsets, branches);
+  build({offsets.data(), offsets.size()}, {branches.data(), branches.size()},
+        ids);
+}
+
+DomainTree::DomainTree(std::span<const std::uint32_t> path_offsets,
+                       std::span<const std::uint16_t> path_branches,
+                       const std::vector<NodeId>& ids) {
+  if (path_offsets.size() != ids.size() + 1) {
+    throw std::invalid_argument("DomainTree: path_offsets/ids size mismatch");
+  }
+  build(path_offsets, path_branches, ids);
+}
+
+void DomainTree::build(std::span<const std::uint32_t> path_offsets,
+                       std::span<const std::uint16_t> path_branches,
+                       const std::vector<NodeId>& ids) {
+  const std::size_t n = ids.size();
+  const auto depth_of = [&](NodeIndex node) {
+    return static_cast<int>(path_offsets[node + 1] - path_offsets[node]);
+  };
+  const auto branch_of = [&](NodeIndex node, int level) {
+    return path_branches[path_offsets[node] + static_cast<std::uint32_t>(level)];
+  };
 
   // Order node indices by ID once; every domain's member list is a
   // subsequence of this order and therefore also ID-sorted.
-  std::vector<std::uint32_t> order(n);
+  std::vector<NodeIndex> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) { return ids[a] < ids[b]; });
+            [&](NodeIndex a, NodeIndex b) { return ids[a] < ids[b]; });
   for (std::size_t i = 1; i < n; ++i) {
     if (ids[order[i - 1]] == ids[order[i]]) {
       throw std::invalid_argument("DomainTree: duplicate node IDs");
     }
   }
 
-  node_domains_.assign(n, {});
+  // Flat chain pool: node i owns depth(i) + 1 slots (root..leaf); the
+  // worklist below fills slot `depth` of every member when the domain at
+  // that depth is processed.
+  chain_offsets_.resize(n + 1);
+  chain_offsets_[0] = 0;
+  std::size_t total_chain = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_chain += static_cast<std::size_t>(depth_of(
+                       static_cast<NodeIndex>(i))) +
+                   1;
+    chain_offsets_[i + 1] = static_cast<std::uint32_t>(total_chain);
+  }
+  chains_.assign(total_chain, -1);
+
   domains_.push_back(Domain{});  // root
   domains_[0].members = order;
 
@@ -38,12 +98,12 @@ DomainTree::DomainTree(const std::vector<DomainPath>& paths,
     const int depth = domains_[static_cast<std::size_t>(d)].depth;
     // Bucket members by their branch at this depth; members whose path ends
     // here stay attached to this domain as their leaf.
-    std::vector<std::pair<std::uint16_t, std::uint32_t>> buckets;
-    for (const std::uint32_t node :
+    std::vector<std::pair<std::uint16_t, NodeIndex>> buckets;
+    for (const NodeIndex node :
          domains_[static_cast<std::size_t>(d)].members) {
-      node_domains_[node].push_back(d);
-      if (paths[node].depth() > depth) {
-        buckets.emplace_back(paths[node].branch(depth), node);
+      chains_[chain_offsets_[node] + static_cast<std::uint32_t>(depth)] = d;
+      if (depth_of(node) > depth) {
+        buckets.emplace_back(branch_of(node, depth), node);
       }
     }
     if (buckets.empty()) continue;
@@ -71,8 +131,8 @@ DomainTree::DomainTree(const std::vector<DomainPath>& paths,
   }
 }
 
-int DomainTree::domain_of(std::uint32_t node, int level) const {
-  const auto& chain = node_domains_[node];
+int DomainTree::domain_of(NodeIndex node, int level) const {
+  const auto chain = domain_chain(node);
   if (level < 0 || level >= static_cast<int>(chain.size())) {
     throw std::out_of_range("DomainTree::domain_of: bad level");
   }

@@ -5,10 +5,16 @@
 // domain (every distinct path prefix) with its member list in ID-sorted
 // order, plus the chain of domains each node belongs to, so constructions
 // can run bottom-up in O(levels) lookups per node.
+//
+// Per-node chains live in one flat structure-of-arrays pool (an offsets
+// array plus a packed chain array) instead of n separate vectors: at 10^6+
+// nodes the pooled layout removes a 24-byte vector header and an allocator
+// round-trip per node, and domain_chain() hands out spans into the pool.
 #ifndef CANON_HIERARCHY_DOMAIN_TREE_H
 #define CANON_HIERARCHY_DOMAIN_TREE_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -22,7 +28,7 @@ struct Domain {
   int depth = 0;                ///< 0 = root
   std::uint16_t branch = 0;     ///< branch index under the parent
   std::vector<int> children;    ///< indices of child domains
-  std::vector<std::uint32_t> members;  ///< node indices, ascending by node ID
+  std::vector<NodeIndex> members;  ///< node indices, ascending by node ID
 };
 
 /// Immutable index of all non-empty domains for a fixed node population.
@@ -36,7 +42,15 @@ class DomainTree {
   DomainTree(const std::vector<DomainPath>& paths,
              const std::vector<NodeId>& ids);
 
-  std::size_t node_count() const { return node_domains_.size(); }
+  /// Same, over a flat path pool: node i's branches occupy
+  /// path_branches[path_offsets[i] .. path_offsets[i + 1]). This is the
+  /// allocation-free entry point OverlayNetwork's structure-of-arrays
+  /// storage uses; `path_offsets` has ids.size() + 1 entries.
+  DomainTree(std::span<const std::uint32_t> path_offsets,
+             std::span<const std::uint16_t> path_branches,
+             const std::vector<NodeId>& ids);
+
+  std::size_t node_count() const { return chain_offsets_.size() - 1; }
   int domain_count() const { return static_cast<int>(domains_.size()); }
   const Domain& domain(int d) const {
     return domains_[static_cast<std::size_t>(d)];
@@ -48,21 +62,30 @@ class DomainTree {
 
   /// The domain containing node `node` at hierarchy level `level`
   /// (0 = root). `level` must not exceed the node's own depth.
-  int domain_of(std::uint32_t node, int level) const;
+  int domain_of(NodeIndex node, int level) const;
 
   /// Depth of node `node`'s leaf domain.
-  int node_depth(std::uint32_t node) const {
-    return static_cast<int>(node_domains_[node].size()) - 1;
+  int node_depth(NodeIndex node) const {
+    return static_cast<int>(chain_offsets_[node + 1] - chain_offsets_[node]) -
+           1;
   }
 
-  /// All domains of node `node`, root first.
-  const std::vector<int>& domain_chain(std::uint32_t node) const {
-    return node_domains_[node];
+  /// All domains of node `node`, root first (a span into the flat chain
+  /// pool; valid while the tree is alive).
+  std::span<const std::int32_t> domain_chain(NodeIndex node) const {
+    return {chains_.data() + chain_offsets_[node],
+            static_cast<std::size_t>(chain_offsets_[node + 1] -
+                                     chain_offsets_[node])};
   }
 
  private:
+  void build(std::span<const std::uint32_t> path_offsets,
+             std::span<const std::uint16_t> path_branches,
+             const std::vector<NodeId>& ids);
+
   std::vector<Domain> domains_;
-  std::vector<std::vector<int>> node_domains_;  // per node: root..leaf
+  std::vector<std::uint32_t> chain_offsets_;  // n + 1; chain pool offsets
+  std::vector<std::int32_t> chains_;          // packed root..leaf chains
   int max_depth_ = 0;
 };
 

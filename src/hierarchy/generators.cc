@@ -39,25 +39,25 @@ class BranchShuffler {
 
 }  // namespace
 
-std::vector<DomainPath> generate_hierarchy(std::size_t count,
-                                           const HierarchySpec& spec,
-                                           Rng& rng) {
+namespace {
+
+/// Shared draw loop of the two public variants: emits each node's branch
+/// vector through `emit(scratch)` (which may copy or move it). The RNG
+/// draw sequence depends only on (count, spec), so both variants produce
+/// byte-identical branches.
+template <typename Emit>
+void generate_hierarchy_impl(std::size_t count, const HierarchySpec& spec,
+                             Rng& rng, Emit&& emit) {
   if (spec.levels < 1) throw std::invalid_argument("levels must be >= 1");
   if (spec.fanout < 1) throw std::invalid_argument("fanout must be >= 1");
   const int path_len = spec.levels - 1;
 
-  std::vector<DomainPath> paths;
-  paths.reserve(count);
-  if (path_len == 0) {
-    paths.assign(count, DomainPath{});
-    return paths;
-  }
-
   ZipfSampler zipf(static_cast<std::size_t>(spec.fanout), spec.zipf_theta);
   BranchShuffler shuffler(spec.fanout, rng);
 
+  std::vector<std::uint16_t> branches;
   for (std::size_t i = 0; i < count; ++i) {
-    std::vector<std::uint16_t> branches;
+    branches.clear();
     branches.reserve(static_cast<std::size_t>(path_len));
     for (int level = 0; level < path_len; ++level) {
       std::size_t rank;
@@ -68,9 +68,40 @@ std::vector<DomainPath> generate_hierarchy(std::size_t count,
       }
       branches.push_back(shuffler.map(branches, rank));
     }
-    paths.emplace_back(std::move(branches));
+    emit(branches);
   }
+}
+
+}  // namespace
+
+std::vector<DomainPath> generate_hierarchy(std::size_t count,
+                                           const HierarchySpec& spec,
+                                           Rng& rng) {
+  std::vector<DomainPath> paths;
+  paths.reserve(count);
+  generate_hierarchy_impl(count, spec, rng,
+                          [&](std::vector<std::uint16_t>& branches) {
+                            paths.emplace_back(branches);
+                          });
   return paths;
+}
+
+DomainPathPool generate_hierarchy_pool(std::size_t count,
+                                       const HierarchySpec& spec, Rng& rng) {
+  DomainPathPool pool;
+  pool.offsets.reserve(count + 1);
+  pool.offsets.push_back(0);
+  pool.branches.reserve(count *
+                        static_cast<std::size_t>(
+                            spec.levels > 0 ? spec.levels - 1 : 0));
+  generate_hierarchy_impl(
+      count, spec, rng, [&](std::vector<std::uint16_t>& branches) {
+        pool.branches.insert(pool.branches.end(), branches.begin(),
+                             branches.end());
+        pool.offsets.push_back(
+            static_cast<std::uint32_t>(pool.branches.size()));
+      });
+  return pool;
 }
 
 }  // namespace canon

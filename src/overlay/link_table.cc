@@ -1,6 +1,7 @@
 #include "overlay/link_table.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "common/parallel.h"
@@ -14,12 +15,21 @@ namespace {
 /// cheap, so shards need to batch enough of them to amortize scheduling.
 constexpr std::size_t kFinalizeGrain = 512;
 
+/// Guards the 32-bit CSR offsets: link counts must fit LinkOffset.
+LinkOffset checked_offset(std::size_t links) {
+  if (links > std::numeric_limits<LinkOffset>::max()) {
+    throw std::length_error(
+        "LinkTable: more than 2^32 - 1 links (LinkOffset overflow)");
+  }
+  return static_cast<LinkOffset>(links);
+}
+
 }  // namespace
 
 LinkTable::LinkTable(std::size_t node_count)
     : node_count_(node_count), rows_(node_count) {}
 
-void LinkTable::add(std::uint32_t from, std::uint32_t to) {
+void LinkTable::add(NodeIndex from, NodeIndex to) {
   if (from >= node_count_ || to >= node_count_) {
     throw std::out_of_range("LinkTable::add: node index out of range");
   }
@@ -52,19 +62,21 @@ void LinkTable::finalize(std::span<const NodeId> ids) {
   // flat arrays; both stages depend only on row contents, so the layout is
   // identical at every thread count.
   offsets_.assign(node_count_ + 1, 0);
+  std::size_t total = 0;
   for (std::size_t m = 0; m < node_count_; ++m) {
-    offsets_[m + 1] = offsets_[m] + rows_[m].size();
+    total += rows_[m].size();
+    offsets_[m + 1] = checked_offset(total);
   }
-  targets_.resize(offsets_[node_count_]);
+  targets_.resize(total);
   if (!ids.empty()) {
     ids_.assign(ids.begin(), ids.end());
-    target_ids_.resize(offsets_[node_count_]);
+    target_ids_.resize(total);
   }
   parallel_for(node_count_, kFinalizeGrain,
                [&](std::size_t begin, std::size_t end) {
                  for (std::size_t m = begin; m < end; ++m) {
                    std::size_t k = offsets_[m];
-                   for (const std::uint32_t to : rows_[m]) {
+                   for (const NodeIndex to : rows_[m]) {
                      targets_[k] = to;
                      if (!ids_.empty()) target_ids_[k] = ids_[to];
                      ++k;
@@ -76,6 +88,85 @@ void LinkTable::finalize(std::span<const NodeId> ids) {
   finalized_ = true;
 }
 
+LinkTable LinkTable::build_streaming(
+    std::size_t node_count, std::span<const NodeId> ids,
+    std::size_t shard_nodes,
+    const std::function<void(NodeIndex node, LinkTable& sink)>& add_links) {
+  if (shard_nodes == 0) {
+    throw std::invalid_argument("LinkTable::build_streaming: shard_nodes == 0");
+  }
+  if (!ids.empty() && ids.size() != node_count) {
+    throw std::invalid_argument("LinkTable::build_streaming: ids size mismatch");
+  }
+  LinkTable out(node_count);
+  const std::size_t shards = (node_count + shard_nodes - 1) / shard_nodes;
+  // Per-shard compact chunks: flat sorted/deduped targets plus per-node
+  // row sizes. Each shard owns its slice of out.rows_ during the build,
+  // then frees those row vectors as soon as the chunk is compacted —
+  // that bound (in-flight rows only) is the whole point of streaming.
+  struct Chunk {
+    std::vector<NodeIndex> targets;
+    std::vector<LinkOffset> sizes;
+  };
+  std::vector<Chunk> chunks(shards);
+  parallel_for(shards, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t lo = s * shard_nodes;
+      const std::size_t hi = std::min(node_count, lo + shard_nodes);
+      Chunk& chunk = chunks[s];
+      chunk.sizes.reserve(hi - lo);
+      for (std::size_t m = lo; m < hi; ++m) {
+        add_links(static_cast<NodeIndex>(m), out);
+        auto& row = out.rows_[m];
+        std::sort(row.begin(), row.end());
+        row.erase(std::unique(row.begin(), row.end()), row.end());
+        chunk.sizes.push_back(checked_offset(row.size()));
+        chunk.targets.insert(chunk.targets.end(), row.begin(), row.end());
+        row.clear();
+        row.shrink_to_fit();
+      }
+    }
+  });
+  // Serial prefix sum over the per-node sizes (fixed shard order), then a
+  // sharded scatter of the chunks into the final CSR arrays.
+  out.offsets_.assign(node_count + 1, 0);
+  std::size_t total = 0;
+  {
+    std::size_t m = 0;
+    for (const Chunk& chunk : chunks) {
+      for (const LinkOffset size : chunk.sizes) {
+        total += size;
+        out.offsets_[++m] = checked_offset(total);
+      }
+    }
+  }
+  out.targets_.resize(total);
+  if (!ids.empty()) {
+    out.ids_.assign(ids.begin(), ids.end());
+    out.target_ids_.resize(total);
+  }
+  parallel_for(shards, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      Chunk& chunk = chunks[s];
+      std::size_t k = out.offsets_[s * shard_nodes];
+      for (std::size_t j = 0; j < chunk.targets.size(); ++j, ++k) {
+        const NodeIndex to = chunk.targets[j];
+        out.targets_[k] = to;
+        if (!out.ids_.empty()) out.target_ids_[k] = out.ids_[to];
+      }
+      chunk.targets.clear();
+      chunk.targets.shrink_to_fit();
+    }
+  });
+  out.rows_.clear();
+  out.rows_.shrink_to_fit();
+  out.finalized_ = true;
+  if (telemetry::Gauge* g = telemetry::maybe_gauge("build.threads")) {
+    g->set(parallel_threads());
+  }
+  return out;
+}
+
 void LinkTable::throw_neighbor_ids_unavailable() const {
   if (!finalized_) {
     throw std::logic_error(
@@ -85,7 +176,7 @@ void LinkTable::throw_neighbor_ids_unavailable() const {
       "LinkTable::neighbor_ids: finalize(ids) did not capture node IDs");
 }
 
-bool LinkTable::has_link(std::uint32_t from, std::uint32_t to) const {
+bool LinkTable::has_link(NodeIndex from, NodeIndex to) const {
   if (!finalized_) {
     throw std::logic_error(
         "LinkTable::has_link: finalize() has not been called");
@@ -110,14 +201,14 @@ double LinkTable::mean_degree() const {
 
 Histogram LinkTable::degree_histogram() const {
   Histogram h;
-  for (std::uint32_t i = 0; i < node_count_; ++i) {
+  for (NodeIndex i = 0; i < node_count_; ++i) {
     h.add(static_cast<std::int64_t>(degree(i)));
   }
   return h;
 }
 
-void LinkTable::set_neighbors(std::uint32_t node,
-                              std::vector<std::uint32_t> neighbors) {
+void LinkTable::set_neighbors(NodeIndex node,
+                              std::vector<NodeIndex> neighbors) {
   if (node >= node_count_) {
     throw std::out_of_range("LinkTable::set_neighbors: node out of range");
   }
@@ -138,6 +229,9 @@ void LinkTable::set_neighbors(std::uint32_t node,
   const std::size_t begin = offsets_[node];
   const std::size_t old_size = offsets_[node + 1] - begin;
   const std::size_t new_size = neighbors.size();
+  if (new_size > old_size) {
+    checked_offset(targets_.size() + (new_size - old_size));
+  }
   const auto row_begin =
       targets_.begin() + static_cast<std::ptrdiff_t>(begin);
   if (new_size > old_size) {
@@ -165,7 +259,7 @@ void LinkTable::set_neighbors(std::uint32_t node,
     const std::ptrdiff_t delta = static_cast<std::ptrdiff_t>(new_size) -
                                  static_cast<std::ptrdiff_t>(old_size);
     for (std::size_t m = node + 1; m <= node_count_; ++m) {
-      offsets_[m] = static_cast<std::size_t>(
+      offsets_[m] = static_cast<LinkOffset>(
           static_cast<std::ptrdiff_t>(offsets_[m]) + delta);
     }
   }

@@ -14,8 +14,12 @@
 //
 //   offsets_  : node_count() + 1 monotone offsets into the flat arrays;
 //               node m's neighbors occupy [offsets_[m], offsets_[m + 1]).
-//   targets_  : all neighbor *indices*, row by row, each row sorted
-//               ascending with no duplicates and no self-links.
+//               Offsets are 32-bit LinkOffset values: even 10^7-node
+//               populations carry well under 2^32 links, and the compact
+//               type halves the per-node offset footprint (finalize()
+//               throws std::length_error past 2^32 - 1 links).
+//   targets_  : all neighbor *indices* (NodeIndex), row by row, each row
+//               sorted ascending with no duplicates and no self-links.
 //   target_ids_: when finalize(ids) was given the node-ID array, the
 //               NodeId of targets_[k] stored at the same position k, so
 //               routers read one contiguous array instead of chasing
@@ -28,10 +32,16 @@
 // maintenance edit path, which splices the CSR arrays in place (O(degree)
 // when the row size is unchanged, O(total_links) otherwise) and keeps
 // every invariant above, including target_ids_ alignment.
+//
+// Mega-scale populations: build_streaming() constructs the same CSR (bit
+// for bit) shard by shard, compacting and freeing each shard's build rows
+// as soon as it completes, so peak RSS stays near the final CSR size
+// instead of CSR + every per-node build vector. See the method comment.
 #ifndef CANON_OVERLAY_LINK_TABLE_H
 #define CANON_OVERLAY_LINK_TABLE_H
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -40,6 +50,10 @@
 #include "common/stats.h"
 
 namespace canon {
+
+/// Index into the flat CSR arrays (a link count). 32-bit by design: see
+/// the file comment.
+using LinkOffset = std::uint32_t;
 
 /// Mutable while links are being added; `finalize()` compacts the table
 /// into a flat CSR layout, after which it is read-only (except for the
@@ -54,7 +68,7 @@ class LinkTable {
   /// tolerated and collapsed by finalize(). Throws std::logic_error once
   /// the table is finalized. Thread-safe across *distinct* `from` nodes
   /// during a sharded build; never for the same `from` concurrently.
-  void add(std::uint32_t from, std::uint32_t to);
+  void add(NodeIndex from, NodeIndex to);
 
   /// Ends the build phase: sorts and deduplicates every row and compacts
   /// the table into the flat CSR layout. When `ids` is non-empty it must
@@ -63,6 +77,26 @@ class LinkTable {
   /// Idempotent on an already-finalized table (a no-op).
   void finalize(std::span<const NodeId> ids = {});
 
+  /// Streaming construction for mega-scale populations. Processes nodes
+  /// in fixed shards of `shard_nodes`; for each node the callback adds
+  /// that node's links through the provided sink table (same contract as
+  /// a sharded build over a plain LinkTable). When a shard completes, its
+  /// rows are sorted, deduplicated and compacted into one tightly-packed
+  /// per-shard chunk and the per-node build vectors are freed
+  /// immediately, so peak RSS carries none of the per-node vector
+  /// headers, push_back growth slack, or allocator slop that an
+  /// add()-then-finalize() build holds across the whole population
+  /// (roughly 40-80 bytes per node plus ~1.5x target slack at 10^6+
+  /// nodes); chunks themselves are freed as they scatter into the final
+  /// CSR. Shards run on the worker pool; chunks are concatenated in
+  /// fixed shard order, so the result is byte-identical to
+  /// add()-then-finalize() at every thread count (operator== compares
+  /// equal).
+  static LinkTable build_streaming(
+      std::size_t node_count, std::span<const NodeId> ids,
+      std::size_t shard_nodes,
+      const std::function<void(NodeIndex node, LinkTable& sink)>& add_links);
+
   bool finalized() const { return finalized_; }
 
   /// True when finalize(ids) captured inline neighbor NodeIds.
@@ -70,29 +104,29 @@ class LinkTable {
 
   /// Neighbors of `node`, sorted ascending (requires finalize()).
   /// Defined inline: this is every router's per-hop access.
-  std::span<const std::uint32_t> neighbors(std::uint32_t node) const {
+  std::span<const NodeIndex> neighbors(NodeIndex node) const {
     if (!finalized_) {
       throw std::logic_error(
           "LinkTable::neighbors: finalize() has not been called");
     }
     return {targets_.data() + offsets_[node],
-            offsets_[node + 1] - offsets_[node]};
+            static_cast<std::size_t>(offsets_[node + 1] - offsets_[node])};
   }
 
   /// NodeIds of `node`'s neighbors, aligned with neighbors() (requires
   /// finalize(ids); throws std::logic_error if ids were not captured).
-  std::span<const NodeId> neighbor_ids(std::uint32_t node) const {
+  std::span<const NodeId> neighbor_ids(NodeIndex node) const {
     if (!finalized_ || ids_.empty()) {
       throw_neighbor_ids_unavailable();
     }
     return {target_ids_.data() + offsets_[node],
-            offsets_[node + 1] - offsets_[node]};
+            static_cast<std::size_t>(offsets_[node + 1] - offsets_[node])};
   }
 
   /// True if the directed link from->to exists (requires finalize()).
-  bool has_link(std::uint32_t from, std::uint32_t to) const;
+  bool has_link(NodeIndex from, NodeIndex to) const;
 
-  std::size_t degree(std::uint32_t node) const {
+  std::size_t degree(NodeIndex node) const {
     if (!finalized_) {
       throw std::logic_error(
           "LinkTable::degree: finalize() has not been called");
@@ -107,7 +141,7 @@ class LinkTable {
   /// The list is sorted, deduplicated, and stripped of self-links; on a
   /// finalized table the CSR arrays (and inline ids, if captured) are
   /// spliced in place.
-  void set_neighbors(std::uint32_t node, std::vector<std::uint32_t> neighbors);
+  void set_neighbors(NodeIndex node, std::vector<NodeIndex> neighbors);
 
   /// Structural equality of two finalized tables: same CSR offsets,
   /// targets, and inline ids. The determinism regression tests rely on
@@ -123,10 +157,10 @@ class LinkTable {
   [[noreturn]] void throw_neighbor_ids_unavailable() const;
 
   std::size_t node_count_ = 0;
-  std::vector<std::vector<std::uint32_t>> rows_;  // build phase only
-  std::vector<std::size_t> offsets_;              // CSR, node_count_ + 1
-  std::vector<std::uint32_t> targets_;            // CSR, flat indices
-  std::vector<NodeId> target_ids_;                // CSR, flat NodeIds
+  std::vector<std::vector<NodeIndex>> rows_;  // build phase only
+  std::vector<LinkOffset> offsets_;           // CSR, node_count_ + 1
+  std::vector<NodeIndex> targets_;            // CSR, flat indices
+  std::vector<NodeId> target_ids_;            // CSR, flat NodeIds
   std::vector<NodeId> ids_;       // node index -> NodeId (if captured)
   bool finalized_ = false;
 };

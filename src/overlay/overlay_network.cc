@@ -2,53 +2,77 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 
 namespace canon {
 
-namespace {
+/// ID-sorted, validated structure-of-arrays bundle.
+struct OverlayNetwork::Soa {
+  std::vector<NodeId> ids;
+  DomainPathPool paths;
+  std::vector<std::int32_t> attach;
+};
 
-std::vector<OverlayNode> sort_by_id(std::vector<OverlayNode> nodes,
-                                    const IdSpace& space) {
-  for (const auto& n : nodes) {
-    if (n.id != space.wrap(n.id)) {
+/// Validates IDs against the space, then sorts the parallel arrays by ID
+/// (one permutation applied to every array) and rejects duplicates. The
+/// permutation is applied with gathers into fresh arrays: O(n) extra for
+/// the array being permuted, never one allocation per node.
+OverlayNetwork::Soa OverlayNetwork::sort_by_id(
+    IdSpace space, std::vector<NodeId> ids, DomainPathPool paths,
+    std::vector<std::int32_t> attach) {
+  const std::size_t n = ids.size();
+  if (paths.offsets.empty()) paths.offsets.push_back(0);
+  if (paths.size() != n) {
+    throw std::invalid_argument("OverlayNetwork: ids/paths size mismatch");
+  }
+  if (!attach.empty() && attach.size() != n) {
+    throw std::invalid_argument("OverlayNetwork: ids/attach size mismatch");
+  }
+  for (const NodeId id : ids) {
+    if (id != space.wrap(id)) {
       throw std::invalid_argument("OverlayNetwork: ID outside the IdSpace");
     }
   }
-  std::sort(nodes.begin(), nodes.end(),
-            [](const OverlayNode& a, const OverlayNode& b) {
-              return a.id < b.id;
-            });
-  for (std::size_t i = 1; i < nodes.size(); ++i) {
-    if (nodes[i - 1].id == nodes[i].id) {
+  std::vector<NodeIndex> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](NodeIndex a, NodeIndex b) { return ids[a] < ids[b]; });
+
+  Soa out;
+  out.ids.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.ids[i] = ids[order[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (out.ids[i - 1] == out.ids[i]) {
       throw std::invalid_argument("OverlayNetwork: duplicate node IDs");
     }
   }
-  return nodes;
-}
+  ids.clear();
+  ids.shrink_to_fit();
 
-std::vector<NodeId> extract_ids(const std::vector<OverlayNode>& nodes) {
-  std::vector<NodeId> ids;
-  ids.reserve(nodes.size());
-  for (const auto& n : nodes) ids.push_back(n.id);
-  return ids;
+  out.paths.offsets.reserve(n + 1);
+  out.paths.offsets.push_back(0);
+  out.paths.branches.reserve(paths.branches.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const DomainPathView p = paths.view(order[i]);
+    out.paths.branches.insert(out.paths.branches.end(), p.branches().begin(),
+                              p.branches().end());
+    out.paths.offsets.push_back(
+        static_cast<std::uint32_t>(out.paths.branches.size()));
+  }
+  if (!attach.empty()) {
+    out.attach.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out.attach[i] = attach[order[i]];
+  }
+  return out;
 }
-
-std::vector<DomainPath> extract_paths(const std::vector<OverlayNode>& nodes) {
-  std::vector<DomainPath> paths;
-  paths.reserve(nodes.size());
-  for (const auto& n : nodes) paths.push_back(n.domain);
-  return paths;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------- RingView
 
 std::size_t RingView::successor_pos(NodeId key) const {
   if (members_.empty()) throw std::logic_error("RingView: empty view");
   // First member with id >= key; wrap to position 0 if none.
-  const auto cmp = [this](std::uint32_t m, NodeId k) {
+  const auto cmp = [this](NodeIndex m, NodeId k) {
     return (*ids_)[m] < k;
   };
   const auto it = std::lower_bound(members_.begin(), members_.end(), key, cmp);
@@ -56,11 +80,11 @@ std::size_t RingView::successor_pos(NodeId key) const {
                               : static_cast<std::size_t>(it - members_.begin());
 }
 
-std::uint32_t RingView::successor(NodeId key) const {
+NodeIndex RingView::successor(NodeId key) const {
   return members_[successor_pos(key)];
 }
 
-std::uint32_t RingView::predecessor_or_self(NodeId key) const {
+NodeIndex RingView::predecessor_or_self(NodeId key) const {
   if (members_.empty()) throw std::logic_error("RingView: empty view");
   const std::size_t pos = successor_pos(key);
   // If the successor sits exactly on the key, it manages the key itself;
@@ -69,8 +93,8 @@ std::uint32_t RingView::predecessor_or_self(NodeId key) const {
   return members_[(pos + members_.size() - 1) % members_.size()];
 }
 
-std::uint32_t RingView::first_at_distance(NodeId from,
-                                          std::uint64_t dist) const {
+NodeIndex RingView::first_at_distance(NodeId from,
+                                      std::uint64_t dist) const {
   if (members_.empty()) throw std::logic_error("RingView: empty view");
   if (dist > space_.mask()) return kNone;
   return successor(space_.advance(from, dist));
@@ -82,7 +106,7 @@ std::size_t RingView::count_in(NodeId lo, std::uint64_t len) const {
     return members_.size();
   }
   const NodeId hi = space_.advance(lo, len);  // exclusive end
-  const auto cmp = [this](std::uint32_t m, NodeId k) {
+  const auto cmp = [this](NodeIndex m, NodeId k) {
     return (*ids_)[m] < k;
   };
   const std::size_t plo = static_cast<std::size_t>(
@@ -100,8 +124,8 @@ std::size_t RingView::count_in(NodeId lo, std::uint64_t len) const {
   return (members_.size() - plo) + phi;
 }
 
-std::uint32_t RingView::select_in(NodeId lo, std::uint64_t len,
-                                  std::size_t k) const {
+NodeIndex RingView::select_in(NodeId lo, std::uint64_t len,
+                              std::size_t k) const {
   if (k >= count_in(lo, len)) {
     throw std::out_of_range("RingView::select_in: k out of range");
   }
@@ -111,7 +135,7 @@ std::uint32_t RingView::select_in(NodeId lo, std::uint64_t len,
 
 std::uint64_t RingView::successor_distance(NodeId from) const {
   if (members_.empty()) throw std::logic_error("RingView: empty view");
-  const std::uint32_t succ = successor(space_.advance(from, 1));
+  const NodeIndex succ = successor(space_.advance(from, 1));
   const std::uint64_t d = space_.ring_distance(from, (*ids_)[succ]);
   if (d == 0) {
     // The only member ahead is `from` itself: the view is a singleton
@@ -123,11 +147,44 @@ std::uint64_t RingView::successor_distance(NodeId from) const {
 
 // ---------------------------------------------------------- OverlayNetwork
 
-OverlayNetwork::OverlayNetwork(IdSpace space, std::vector<OverlayNode> nodes)
+OverlayNetwork::OverlayNetwork(IdSpace space, std::vector<NodeId> ids,
+                               DomainPathPool paths,
+                               std::vector<std::int32_t> attach)
+    : OverlayNetwork(space, sort_by_id(space, std::move(ids), std::move(paths),
+                                       std::move(attach))) {}
+
+OverlayNetwork::OverlayNetwork(IdSpace space, Soa soa)
     : space_(space),
-      nodes_(sort_by_id(std::move(nodes), space)),
-      ids_(extract_ids(nodes_)),
-      tree_(extract_paths(nodes_), ids_) {}
+      ids_(std::move(soa.ids)),
+      paths_(std::move(soa.paths)),
+      attach_(std::move(soa.attach)),
+      tree_({paths_.offsets.data(), paths_.offsets.size()},
+            {paths_.branches.data(), paths_.branches.size()}, ids_) {}
+
+OverlayNetwork::Soa OverlayNetwork::soa_from_nodes(
+    const std::vector<OverlayNode>& nodes) {
+  Soa soa;
+  soa.ids.reserve(nodes.size());
+  soa.paths.offsets.reserve(nodes.size() + 1);
+  soa.attach.resize(nodes.size());
+  std::size_t i = 0;
+  for (const OverlayNode& n : nodes) {
+    soa.ids.push_back(n.id);
+    soa.paths.push_back(n.domain.view());
+    soa.attach[i++] = n.attach;
+  }
+  if (soa.paths.offsets.empty()) soa.paths.offsets.push_back(0);
+  return soa;
+}
+
+OverlayNetwork::OverlayNetwork(IdSpace space, std::vector<OverlayNode> nodes)
+    : OverlayNetwork(space,
+                     [&] {
+                       Soa soa = soa_from_nodes(nodes);
+                       return sort_by_id(space, std::move(soa.ids),
+                                         std::move(soa.paths),
+                                         std::move(soa.attach));
+                     }()) {}
 
 RingView OverlayNetwork::ring() const {
   return domain_ring(tree_.root());
@@ -138,16 +195,16 @@ RingView OverlayNetwork::domain_ring(int d) const {
   return RingView(space_, ids_, {members.data(), members.size()});
 }
 
-std::uint32_t OverlayNetwork::responsible(NodeId key) const {
+NodeIndex OverlayNetwork::responsible(NodeId key) const {
   return ring().predecessor_or_self(key);
 }
 
-std::uint32_t OverlayNetwork::xor_closest(NodeId key) const {
-  if (nodes_.empty()) throw std::logic_error("OverlayNetwork: empty");
+NodeIndex OverlayNetwork::xor_closest(NodeId key) const {
+  if (ids_.empty()) throw std::logic_error("OverlayNetwork: empty");
   // Walk the bits of the key from the top, keeping the range of sorted IDs
   // that matches the best achievable prefix.
   std::size_t lo = 0;
-  std::size_t hi = nodes_.size();
+  std::size_t hi = ids_.size();
   NodeId prefix = 0;
   for (int b = space_.bits() - 1; b >= 0; --b) {
     if (hi - lo == 1) break;
@@ -171,15 +228,15 @@ std::uint32_t OverlayNetwork::xor_closest(NodeId key) const {
       hi = mid;
     }
   }
-  return static_cast<std::uint32_t>(lo);
+  return static_cast<NodeIndex>(lo);
 }
 
-std::uint32_t OverlayNetwork::index_of(NodeId id) const {
+NodeIndex OverlayNetwork::index_of(NodeId id) const {
   const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
   if (it == ids_.end() || *it != id) {
     throw std::invalid_argument("OverlayNetwork::index_of: unknown ID");
   }
-  return static_cast<std::uint32_t>(it - ids_.begin());
+  return static_cast<NodeIndex>(it - ids_.begin());
 }
 
 }  // namespace canon

@@ -5,6 +5,14 @@
 // an attachment point in a physical topology. Nodes are indexed 0..n-1 in
 // ascending ID order; a DomainTree indexes every non-empty domain.
 //
+// Per-node metadata lives in structure-of-arrays form — one flat NodeId
+// array, one packed domain-path pool, one attachment array — rather than an
+// array of node structs. At mega-scale (10^6..10^7 nodes) this cuts the
+// resident metadata from ~100 bytes per node (struct padding, a heap vector
+// per path, allocator slop) to ~25, and the ID-only hot paths scan a dense
+// NodeId array. The OverlayNode struct remains as a convenience view:
+// node(i) materializes one on demand.
+//
 // Link construction (src/dht, src/canon) and routing (routing.h) are layered
 // on top of this class; it owns no links itself.
 #ifndef CANON_OVERLAY_OVERLAY_NETWORK_H
@@ -20,7 +28,8 @@
 
 namespace canon {
 
-/// One participant node, as supplied by the caller.
+/// One participant node, as supplied by the caller (and materialized on
+/// demand by node(); the network itself stores structure-of-arrays).
 struct OverlayNode {
   NodeId id = 0;        ///< unique identifier within the network's IdSpace
   DomainPath domain;    ///< position in the conceptual hierarchy
@@ -33,61 +42,85 @@ struct OverlayNode {
 class RingView {
  public:
   RingView(const IdSpace& space, const std::vector<NodeId>& ids,
-           std::span<const std::uint32_t> members)
+           std::span<const NodeIndex> members)
       : space_(space), ids_(&ids), members_(members) {}
 
   std::size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
-  std::uint32_t at(std::size_t pos) const { return members_[pos]; }
-  std::span<const std::uint32_t> members() const { return members_; }
+  NodeIndex at(std::size_t pos) const { return members_[pos]; }
+  std::span<const NodeIndex> members() const { return members_; }
 
   /// Position of the first member with ID >= key, wrapping to 0 past the
   /// end. Requires a non-empty view.
   std::size_t successor_pos(NodeId key) const;
 
   /// The member with the smallest ID >= key (wrapping): Chord's successor.
-  std::uint32_t successor(NodeId key) const;
+  NodeIndex successor(NodeId key) const;
 
   /// The member managing `key` under the paper's responsibility rule
   /// (footnote 3): largest ID <= key, wrapping.
-  std::uint32_t predecessor_or_self(NodeId key) const;
+  NodeIndex predecessor_or_self(NodeId key) const;
 
   /// The closest member at ring distance >= dist from `from` (the standard
   /// Chord finger target). `dist` may exceed the space size, in which case
   /// there is no such member and nullopt-like sentinel kNone is returned.
-  std::uint32_t first_at_distance(NodeId from, std::uint64_t dist) const;
+  NodeIndex first_at_distance(NodeId from, std::uint64_t dist) const;
 
   /// Number of members with ID in the wrapped interval [lo, lo+len).
   std::size_t count_in(NodeId lo, std::uint64_t len) const;
 
   /// The k-th member (k < count_in(lo, len)) of the wrapped interval,
   /// in clockwise order starting at lo.
-  std::uint32_t select_in(NodeId lo, std::uint64_t len, std::size_t k) const;
+  NodeIndex select_in(NodeId lo, std::uint64_t len, std::size_t k) const;
 
   /// Clockwise distance from `from` to the view's successor of `from`+1,
   /// i.e. to the nearest other member ahead. Returns the full ring size if
   /// the view contains only `from` itself.
   std::uint64_t successor_distance(NodeId from) const;
 
-  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+  static constexpr NodeIndex kNone = kInvalidNodeIndex;
 
  private:
   IdSpace space_;
   const std::vector<NodeId>* ids_;
-  std::span<const std::uint32_t> members_;
+  std::span<const NodeIndex> members_;
 };
 
 /// Immutable node population. See file comment.
 class OverlayNetwork {
  public:
   /// Sorts nodes by ID and indexes the hierarchy. Throws on duplicate IDs
-  /// or IDs outside the space.
+  /// or IDs outside the space. (Convenience wrapper over the
+  /// structure-of-arrays constructor below.)
   OverlayNetwork(IdSpace space, std::vector<OverlayNode> nodes);
 
+  /// Structure-of-arrays constructor: parallel per-node arrays, index i
+  /// describing node i (ids[i], paths[i], attach[i]); `attach` may be
+  /// empty (no physical attachment). Sorts all arrays together by ID.
+  /// This is the mega-scale entry point — nothing is ever held per node
+  /// on the heap.
+  OverlayNetwork(IdSpace space, std::vector<NodeId> ids, DomainPathPool paths,
+                 std::vector<std::int32_t> attach = {});
+
   const IdSpace& space() const { return space_; }
-  std::size_t size() const { return nodes_.size(); }
-  const OverlayNode& node(std::uint32_t i) const { return nodes_[i]; }
-  NodeId id(std::uint32_t i) const { return nodes_[i].id; }
+  std::size_t size() const { return ids_.size(); }
+
+  /// Materializes node `i` as an owning struct (allocates the path copy —
+  /// convenience for examples/tests, not a hot path; hot paths use id(),
+  /// path(), attach()).
+  OverlayNode node(NodeIndex i) const {
+    return OverlayNode{ids_[i], DomainPath(path(i)), attach(i)};
+  }
+
+  NodeId id(NodeIndex i) const { return ids_[i]; }
+
+  /// Node `i`'s hierarchy position as a view into the packed path pool.
+  DomainPathView path(NodeIndex i) const { return paths_.view(i); }
+
+  /// Node `i`'s physical attachment (router index), or -1.
+  std::int32_t attach(NodeIndex i) const {
+    return attach_.empty() ? -1 : attach_[i];
+  }
 
   /// All node IDs in ascending order (node index i -> ids()[i]).
   const std::vector<NodeId>& ids() const { return ids_; }
@@ -101,23 +134,32 @@ class OverlayNetwork {
   RingView domain_ring(int d) const;
 
   /// The node responsible for `key` (largest ID <= key, wrapping).
-  std::uint32_t responsible(NodeId key) const;
+  NodeIndex responsible(NodeId key) const;
 
   /// The node whose ID minimizes XOR distance to `key` (Kademlia target).
-  std::uint32_t xor_closest(NodeId key) const;
+  NodeIndex xor_closest(NodeId key) const;
 
   /// Node index with the given ID; throws if absent.
-  std::uint32_t index_of(NodeId id) const;
+  NodeIndex index_of(NodeId id) const;
 
   /// Depth of the lowest common domain of nodes a and b.
-  int lca_level(std::uint32_t a, std::uint32_t b) const {
-    return nodes_[a].domain.lca_depth(nodes_[b].domain);
+  int lca_level(NodeIndex a, NodeIndex b) const {
+    return path(a).lca_depth(path(b));
   }
 
  private:
+  /// ID-sorted, validated structure-of-arrays bundle (built in the .cc).
+  struct Soa;
+  static Soa sort_by_id(IdSpace space, std::vector<NodeId> ids,
+                        DomainPathPool paths,
+                        std::vector<std::int32_t> attach);
+  static Soa soa_from_nodes(const std::vector<OverlayNode>& nodes);
+  OverlayNetwork(IdSpace space, Soa soa);
+
   IdSpace space_;
-  std::vector<OverlayNode> nodes_;  // ascending by id
-  std::vector<NodeId> ids_;         // nodes_[i].id
+  std::vector<NodeId> ids_;           // ascending
+  DomainPathPool paths_;              // packed, index-aligned with ids_
+  std::vector<std::int32_t> attach_;  // index-aligned, or empty
   DomainTree tree_;
 };
 

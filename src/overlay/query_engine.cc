@@ -27,7 +27,7 @@ std::vector<Query> uniform_workload(const OverlayNetwork& net,
   const IdSpace& space = net.space();
   return generate_workload(count, base, [&](Rng& rng, std::size_t) {
     Query q;
-    q.from = static_cast<std::uint32_t>(rng.uniform(n));
+    q.from = static_cast<NodeIndex>(rng.uniform(n));
     q.key = space.wrap(rng());
     return q;
   });
@@ -47,7 +47,7 @@ std::vector<Query> zipf_workload(const OverlayNetwork& net, std::size_t count,
   const ZipfSampler zipf(key_pool, theta);
   return generate_workload(count, base, [&](Rng& rng, std::size_t) {
     Query q;
-    q.from = static_cast<std::uint32_t>(rng.uniform(n));
+    q.from = static_cast<NodeIndex>(rng.uniform(n));
     q.key = pool[zipf.sample(rng)];
     return q;
   });

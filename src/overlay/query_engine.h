@@ -47,7 +47,7 @@ namespace canon {
 
 /// One lookup of a batch workload.
 struct Query {
-  std::uint32_t from = 0;  ///< source node index
+  NodeIndex from = 0;       ///< source node index
   NodeId key = 0;          ///< target key
 
   friend bool operator==(const Query&, const Query&) = default;
@@ -157,9 +157,9 @@ class QueryEngine {
   /// Routes one query into the caller's buffer; must be safe to call
   /// concurrently on shared state (the hot-path contract).
   using RouteIntoFn =
-      std::function<void(std::uint32_t, NodeId, Route&)>;
+      std::function<void(NodeIndex, NodeId, Route&)>;
   /// Terminal-only variant; pass nullptr when the router has none.
-  using ProbeFn = std::function<RouteProbe(std::uint32_t, NodeId)>;
+  using ProbeFn = std::function<RouteProbe(NodeIndex, NodeId)>;
 
   /// Runs the batch through any router exposing the route_into/probe hot
   /// paths (RingRouter, XorRouter, GroupRouter). When `per_query` is given
@@ -169,10 +169,10 @@ class QueryEngine {
                  std::vector<RouteProbe>* per_query = nullptr) const {
     return run_batch(
         queries,
-        [&router](std::uint32_t from, NodeId key, Route& out) {
+        [&router](NodeIndex from, NodeId key, Route& out) {
           router.route_into(from, key, out);
         },
-        [&router](std::uint32_t from, NodeId key) {
+        [&router](NodeIndex from, NodeId key) {
           return router.probe(from, key);
         },
         per_query);
@@ -184,10 +184,10 @@ class QueryEngine {
                            std::vector<RouteProbe>* per_query = nullptr) const {
     return run_batch(
         queries,
-        [&router](std::uint32_t from, NodeId key, Route& out) {
+        [&router](NodeIndex from, NodeId key, Route& out) {
           router.route_lookahead_into(from, key, out);
         },
-        [&router](std::uint32_t from, NodeId key) {
+        [&router](NodeIndex from, NodeId key) {
           return router.probe_lookahead(from, key);
         },
         per_query);

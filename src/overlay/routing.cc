@@ -18,7 +18,7 @@ int hop_guard(const OverlayNetwork& net) {
 /// NodeIds of `links`' neighbors of `node`, read from the CSR inline-id
 /// array when the table captured it, else nullptr (caller falls back to
 /// per-candidate net lookups — tables finalized without ids).
-const NodeId* inline_ids_or_null(const LinkTable& links, std::uint32_t node) {
+const NodeId* inline_ids_or_null(const LinkTable& links, NodeIndex node) {
   return links.has_inline_ids() ? links.neighbor_ids(node).data() : nullptr;
 }
 
@@ -30,22 +30,22 @@ const NodeId* inline_ids_or_null(const LinkTable& links, std::uint32_t node) {
 // router — the batch QueryEngine's fan-out relies on that.
 
 struct NullRecorder {
-  void operator()(std::uint32_t) const {}
+  void operator()(NodeIndex) const {}
 };
 
 struct PathRecorder {
-  std::vector<std::uint32_t>* path;
-  void operator()(std::uint32_t node) const { path->push_back(node); }
+  std::vector<NodeIndex>* path;
+  void operator()(NodeIndex node) const { path->push_back(node); }
 };
 
 /// Greedy clockwise core. Records every node entered after `from`;
 /// returns terminal/hops/ok.
 template <typename Recorder>
 RouteProbe ring_core(const OverlayNetwork& net, const LinkTable& links,
-                     int max_hops, std::uint32_t from, NodeId key,
+                     int max_hops, NodeIndex from, NodeId key,
                      Recorder&& record) {
   const IdSpace& space = net.space();
-  std::uint32_t current = from;
+  NodeIndex current = from;
   int hops = 0;
   for (int step = 0; step < max_hops; ++step) {
     const std::uint64_t remaining = space.ring_distance(net.id(current), key);
@@ -65,7 +65,7 @@ RouteProbe ring_core(const OverlayNetwork& net, const LinkTable& links,
         best_j = j;
       }
     }
-    const std::uint32_t best =
+    const NodeIndex best =
         best_j == kNoCandidate ? current : neighbors[best_j];
     if (best == current) {
       return {current, hops, current == net.responsible(key)};
@@ -83,23 +83,23 @@ RouteProbe ring_core(const OverlayNetwork& net, const LinkTable& links,
 template <typename Recorder>
 RouteProbe ring_lookahead_core(const OverlayNetwork& net,
                                const LinkTable& links, int max_hops,
-                               std::uint32_t from, NodeId key,
+                               NodeIndex from, NodeId key,
                                Recorder&& record) {
   const IdSpace& space = net.space();
-  std::uint32_t current = from;
+  NodeIndex current = from;
   int hops = 0;
   for (int step = 0; step < max_hops; ++step) {
     const NodeId cur_id = net.id(current);
     const std::uint64_t remaining = space.ring_distance(cur_id, key);
     // Evaluate all 1-step and 2-step plans that never overshoot and commit
     // to the whole plan with the smallest final remaining distance.
-    std::uint32_t best_v = current;
-    std::uint32_t best_w = current;  // == best_v for 1-step plans
+    NodeIndex best_v = current;
+    NodeIndex best_w = current;  // == best_v for 1-step plans
     std::uint64_t best_final = remaining;
     const auto neighbors = links.neighbors(current);
     const NodeId* nb_ids = inline_ids_or_null(links, current);
     for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      const std::uint32_t v = neighbors[j];
+      const NodeIndex v = neighbors[j];
       const NodeId v_id = nb_ids ? nb_ids[j] : net.id(v);
       const std::uint64_t covered1 = space.ring_distance(cur_id, v_id);
       if (covered1 == 0 || covered1 > remaining) continue;
@@ -140,10 +140,10 @@ RouteProbe ring_lookahead_core(const OverlayNetwork& net,
 /// Greedy XOR-distance core.
 template <typename Recorder>
 RouteProbe xor_core(const OverlayNetwork& net, const LinkTable& links,
-                    int max_hops, std::uint32_t from, NodeId key,
+                    int max_hops, NodeIndex from, NodeId key,
                     Recorder&& record) {
   const IdSpace& space = net.space();
-  std::uint32_t current = from;
+  NodeIndex current = from;
   int hops = 0;
   for (int step = 0; step < max_hops; ++step) {
     const std::uint64_t remaining = space.xor_distance(net.id(current), key);
@@ -159,7 +159,7 @@ RouteProbe xor_core(const OverlayNetwork& net, const LinkTable& links,
         best_j = j;
       }
     }
-    const std::uint32_t best =
+    const NodeIndex best =
         best_j == kNoCandidate ? current : neighbors[best_j];
     if (best == current) {
       return {current, hops, current == net.xor_closest(key)};
@@ -173,7 +173,7 @@ RouteProbe xor_core(const OverlayNetwork& net, const LinkTable& links,
 
 /// Resets `out` (keeping its capacity) and stamps the probe result of a
 /// path-recording core run onto it.
-void begin_route(Route& out, std::uint32_t from) {
+void begin_route(Route& out, NodeIndex from) {
   out.path.clear();
   out.path.push_back(from);
   out.ok = false;
@@ -227,18 +227,18 @@ RingRouter::RingRouter(const OverlayNetwork& net, const LinkTable& links)
   }
 }
 
-void RingRouter::route_into(std::uint32_t from, NodeId key, Route& out) const {
+void RingRouter::route_into(NodeIndex from, NodeId key, Route& out) const {
   begin_route(out, from);
   out.ok =
       ring_core(*net_, *links_, max_hops_, from, key, PathRecorder{&out.path})
           .ok;
 }
 
-RouteProbe RingRouter::probe(std::uint32_t from, NodeId key) const {
+RouteProbe RingRouter::probe(NodeIndex from, NodeId key) const {
   return ring_core(*net_, *links_, max_hops_, from, key, NullRecorder{});
 }
 
-Route RingRouter::route(std::uint32_t from, NodeId key) const {
+Route RingRouter::route(NodeIndex from, NodeId key) const {
   Route r;
   route_into(from, key, r);
   finish_route(r, key, *net_, *links_, routes_counter_, hops_counter_,
@@ -246,7 +246,7 @@ Route RingRouter::route(std::uint32_t from, NodeId key) const {
   return r;
 }
 
-void RingRouter::route_lookahead_into(std::uint32_t from, NodeId key,
+void RingRouter::route_lookahead_into(NodeIndex from, NodeId key,
                                       Route& out) const {
   begin_route(out, from);
   out.ok = ring_lookahead_core(*net_, *links_, max_hops_, from, key,
@@ -254,12 +254,12 @@ void RingRouter::route_lookahead_into(std::uint32_t from, NodeId key,
                .ok;
 }
 
-RouteProbe RingRouter::probe_lookahead(std::uint32_t from, NodeId key) const {
+RouteProbe RingRouter::probe_lookahead(NodeIndex from, NodeId key) const {
   return ring_lookahead_core(*net_, *links_, max_hops_, from, key,
                              NullRecorder{});
 }
 
-Route RingRouter::route_lookahead(std::uint32_t from, NodeId key) const {
+Route RingRouter::route_lookahead(NodeIndex from, NodeId key) const {
   Route r;
   route_lookahead_into(from, key, r);
   finish_route(r, key, *net_, *links_, routes_counter_, hops_counter_,
@@ -282,18 +282,18 @@ XorRouter::XorRouter(const OverlayNetwork& net, const LinkTable& links)
   }
 }
 
-void XorRouter::route_into(std::uint32_t from, NodeId key, Route& out) const {
+void XorRouter::route_into(NodeIndex from, NodeId key, Route& out) const {
   begin_route(out, from);
   out.ok =
       xor_core(*net_, *links_, max_hops_, from, key, PathRecorder{&out.path})
           .ok;
 }
 
-RouteProbe XorRouter::probe(std::uint32_t from, NodeId key) const {
+RouteProbe XorRouter::probe(NodeIndex from, NodeId key) const {
   return xor_core(*net_, *links_, max_hops_, from, key, NullRecorder{});
 }
 
-Route XorRouter::route(std::uint32_t from, NodeId key) const {
+Route XorRouter::route(NodeIndex from, NodeId key) const {
   Route r;
   route_into(from, key, r);
   finish_route(r, key, *net_, *links_, routes_counter_, hops_counter_,

@@ -24,12 +24,12 @@ namespace canon {
 
 /// The hop-by-hop trace of one routed query.
 struct Route {
-  std::vector<std::uint32_t> path;  ///< node indices, source first
+  std::vector<NodeIndex> path;  ///< node indices, source first
   bool ok = false;  ///< true if routing reached the correct destination
 
   int hops() const { return static_cast<int>(path.size()) - 1; }
-  std::uint32_t source() const { return path.front(); }
-  std::uint32_t terminal() const { return path.back(); }
+  NodeIndex source() const { return path.front(); }
+  NodeIndex terminal() const { return path.back(); }
 };
 
 /// Terminal-only outcome of a routed query: what probe-mode routing
@@ -37,7 +37,7 @@ struct Route {
 /// (from, key) on the same structure, probe() and route() agree on every
 /// field.
 struct RouteProbe {
-  std::uint32_t terminal = 0;  ///< node the query stopped at
+  NodeIndex terminal = 0;  ///< node the query stopped at
   int hops = 0;                ///< forwarding steps taken
   bool ok = false;             ///< reached the correct destination
 
@@ -74,17 +74,17 @@ class RingRouter {
   /// Routes from node `from` towards `key`; stops at the first node none of
   /// whose neighbors can advance clockwise without overshooting the key.
   /// Route::ok is set iff that node is the key's responsible node.
-  Route route(std::uint32_t from, NodeId key) const;
+  Route route(NodeIndex from, NodeId key) const;
 
   /// Greedy routing with a 1-step lookahead: examines neighbors' neighbors
   /// and takes the first step of the best 2-step plan (Symphony, §3.1).
-  Route route_lookahead(std::uint32_t from, NodeId key) const;
+  Route route_lookahead(NodeIndex from, NodeId key) const;
 
   /// Allocation-free variants: see the hot-path contract above.
-  void route_into(std::uint32_t from, NodeId key, Route& out) const;
-  void route_lookahead_into(std::uint32_t from, NodeId key, Route& out) const;
-  RouteProbe probe(std::uint32_t from, NodeId key) const;
-  RouteProbe probe_lookahead(std::uint32_t from, NodeId key) const;
+  void route_into(NodeIndex from, NodeId key, Route& out) const;
+  void route_lookahead_into(NodeIndex from, NodeId key, Route& out) const;
+  RouteProbe probe(NodeIndex from, NodeId key) const;
+  RouteProbe probe_lookahead(NodeIndex from, NodeId key) const;
 
   /// Attaches a trace sink receiving per-hop events (hierarchy level,
   /// candidates evaluated) for every subsequent route; nullptr detaches.
@@ -109,11 +109,11 @@ class XorRouter {
 
   /// Routes by strictly decreasing XOR distance to `key`. Route::ok is set
   /// iff the terminal node is the global XOR-closest node to the key.
-  Route route(std::uint32_t from, NodeId key) const;
+  Route route(NodeIndex from, NodeId key) const;
 
   /// Allocation-free variants: see the hot-path contract above.
-  void route_into(std::uint32_t from, NodeId key, Route& out) const;
-  RouteProbe probe(std::uint32_t from, NodeId key) const;
+  void route_into(NodeIndex from, NodeId key, Route& out) const;
+  RouteProbe probe(NodeIndex from, NodeId key) const;
 
   /// Attaches a trace sink (see RingRouter::set_trace).
   void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }

@@ -1,6 +1,7 @@
 #include "telemetry/load_stats.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace canon::telemetry {
@@ -68,7 +69,7 @@ LoadAccountant::LoadAccountant(const DomainTree& tree,
     slot_domain_.push_back(d);
   }
   for (std::uint32_t v = 0; v < tree.node_count(); ++v) {
-    const std::vector<int>& chain = tree.domain_chain(v);
+    const std::span<const std::int32_t> chain = tree.domain_chain(v);
     if (static_cast<int>(chain.size()) > domain_level) {
       slot_[v] =
           domain_slot[static_cast<std::size_t>(
@@ -79,8 +80,8 @@ LoadAccountant::LoadAccountant(const DomainTree& tree,
 }
 
 int LoadAccountant::lca_level(std::uint32_t a, std::uint32_t b) const {
-  const std::vector<int>& ca = tree_->domain_chain(a);
-  const std::vector<int>& cb = tree_->domain_chain(b);
+  const std::span<const std::int32_t> ca = tree_->domain_chain(a);
+  const std::span<const std::int32_t> cb = tree_->domain_chain(b);
   const std::size_t limit = std::min(ca.size(), cb.size());
   std::size_t common = 0;
   while (common < limit && ca[common] == cb[common]) ++common;

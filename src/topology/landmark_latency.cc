@@ -1,0 +1,85 @@
+#include "topology/landmark_latency.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "common/parallel.h"
+#include "telemetry/scoped_timer.h"
+
+namespace canon {
+
+void single_source_latencies(const TransitStubTopology& topo, int src,
+                             std::vector<double>& dist) {
+  const std::size_t n = static_cast<std::size_t>(topo.router_count());
+  dist.assign(n, std::numeric_limits<double>::infinity());
+  dist[static_cast<std::size_t>(src)] = 0;
+  using Item = std::pair<double, int>;  // (distance, router)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  queue.emplace(0.0, src);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& e : topo.edges(u)) {
+      const double nd = d + e.ms;
+      if (nd < dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] = nd;
+        queue.emplace(nd, e.to);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Landmarks per shard: one Dijkstra costs far more than a shard claim,
+/// so small shards give the best load balance.
+constexpr std::size_t kLandmarkGrain = 4;
+
+}  // namespace
+
+LandmarkLatency::LandmarkLatency(const TransitStubTopology& topo,
+                                 LandmarkLatencyConfig config)
+    : n_(topo.router_count()) {
+  if (n_ <= config.exact_threshold) {
+    // Small graph: the historical exact matrix, bit for bit (its own
+    // build.latency_matrix_ms timer included).
+    exact_ = std::make_unique<LatencyMatrix>(topo);
+    return;
+  }
+  telemetry::ScopedTimer timer("build.landmark_latency_ms");
+  // Deterministic landmark set: every transit router, plus every
+  // stride-th stub router. No randomness is consumed, so the estimator
+  // is a pure function of the topology.
+  const int stride = config.stub_stride < 1 ? 1 : config.stub_stride;
+  for (int r = 0; r < n_; ++r) {
+    if (topo.router(r).is_transit) landmarks_.push_back(r);
+  }
+  const auto& stubs = topo.stub_routers();
+  for (std::size_t i = 0; i < stubs.size();
+       i += static_cast<std::size_t>(stride)) {
+    landmarks_.push_back(stubs[i]);
+  }
+  const std::size_t n = static_cast<std::size_t>(n_);
+  ms_.assign(landmarks_.size() * n, std::numeric_limits<float>::infinity());
+  // One Dijkstra per landmark; each shard owns its landmarks' rows of
+  // ms_, so the sharded runs write disjoint ranges and need no locks.
+  parallel_for(landmarks_.size(), kLandmarkGrain,
+               [&](std::size_t begin, std::size_t end) {
+                 std::vector<double> dist;
+                 for (std::size_t l = begin; l < end; ++l) {
+                   single_source_latencies(topo, landmarks_[l], dist);
+                   float* row = ms_.data() + l * n;
+                   for (std::size_t v = 0; v < n; ++v) {
+                     if (!(dist[v] < std::numeric_limits<double>::infinity())) {
+                       throw std::logic_error(
+                           "LandmarkLatency: topology is disconnected");
+                     }
+                     row[v] = static_cast<float>(dist[v]);
+                   }
+                 }
+               });
+}
+
+}  // namespace canon

@@ -1,11 +1,11 @@
 #include "topology/latency_matrix.h"
 
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 #include "common/parallel.h"
 #include "telemetry/scoped_timer.h"
+#include "topology/landmark_latency.h"
 
 namespace canon {
 
@@ -27,27 +27,9 @@ LatencyMatrix::LatencyMatrix(const TransitStubTopology& topo)
   parallel_for(
       static_cast<std::size_t>(n_), kSourceGrain,
       [&](std::size_t begin, std::size_t end) {
-        std::vector<double> dist(static_cast<std::size_t>(n_));
-        using Item = std::pair<double, int>;  // (distance, router)
+        std::vector<double> dist;
         for (std::size_t s = begin; s < end; ++s) {
-          const int src = static_cast<int>(s);
-          std::fill(dist.begin(), dist.end(),
-                    std::numeric_limits<double>::infinity());
-          dist[s] = 0;
-          std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-          queue.emplace(0.0, src);
-          while (!queue.empty()) {
-            const auto [d, u] = queue.top();
-            queue.pop();
-            if (d > dist[static_cast<std::size_t>(u)]) continue;
-            for (const auto& e : topo.edges(u)) {
-              const double nd = d + e.ms;
-              if (nd < dist[static_cast<std::size_t>(e.to)]) {
-                dist[static_cast<std::size_t>(e.to)] = nd;
-                queue.emplace(nd, e.to);
-              }
-            }
-          }
+          single_source_latencies(topo, static_cast<int>(s), dist);
           for (int v = 0; v < n_; ++v) {
             const double d = dist[static_cast<std::size_t>(v)];
             if (!(d < std::numeric_limits<double>::infinity())) {

@@ -1,9 +1,17 @@
 // All-pairs shortest-path latencies over a router graph, computed with one
-// Dijkstra run per router (the graphs here have ~2000 routers, so the full
-// matrix fits comfortably in memory). The per-source runs are independent
-// and execute on the shared worker pool (common/parallel.h); each source
-// writes only its own matrix row, and the result is identical at every
-// thread count. Construction time is recorded under build.latency_matrix_ms.
+// Dijkstra run per router. This is the *exact* backend used by
+// LandmarkLatency (landmark_latency.h) for graphs at or below its
+// exact_threshold (default 4096 routers; the paper's topology has 2040).
+// Above the threshold the O(n^2) matrix no longer fits the memory budget
+// and LandmarkLatency switches to landmark triangulation: k Dijkstra runs
+// from deterministic landmarks and min-over-landmarks estimates that never
+// underestimate the true latency (and are exact for every pair whose
+// shortest path crosses a transit router — all inter-stub-domain pairs).
+//
+// The per-source runs are independent and execute on the shared worker
+// pool (common/parallel.h); each source writes only its own matrix row, so
+// the result is identical at every thread count. Construction time is
+// recorded under build.latency_matrix_ms.
 #ifndef CANON_TOPOLOGY_LATENCY_MATRIX_H
 #define CANON_TOPOLOGY_LATENCY_MATRIX_H
 

@@ -20,21 +20,25 @@ OverlayNetwork make_physical_population(std::size_t count,
                                         const PhysicalNetwork& phys,
                                         int id_bits, Rng& rng) {
   const IdSpace space(id_bits);
-  const auto ids = sample_unique_ids(count, space, rng);
+  std::vector<NodeId> ids = sample_unique_ids(count, space, rng);
   const auto& stubs = phys.topology().stub_routers();
-  std::vector<OverlayNode> nodes(count);
+  // Structure-of-arrays assembly: attachment array plus the packed path
+  // pool, never one OverlayNode (with its heap path) per host.
+  DomainPathPool paths;
+  paths.offsets.reserve(count + 1);
+  std::vector<std::int32_t> attach(count);
   for (std::size_t i = 0; i < count; ++i) {
     const int stub = stubs[i % stubs.size()];
-    nodes[i].id = ids[i];
-    nodes[i].attach = stub;
-    nodes[i].domain = phys.topology().host_hierarchy_path(stub);
+    attach[i] = stub;
+    paths.push_back(phys.topology().host_hierarchy_path(stub).view());
   }
-  return OverlayNetwork(space, std::move(nodes));
+  return OverlayNetwork(space, std::move(ids), std::move(paths),
+                        std::move(attach));
 }
 
 HopCost host_hop_cost(const OverlayNetwork& net, const PhysicalNetwork& phys) {
-  return [&net, &phys](std::uint32_t a, std::uint32_t b) {
-    return phys.host_latency(net.node(a).attach, net.node(b).attach);
+  return [&net, &phys](NodeIndex a, NodeIndex b) {
+    return phys.host_latency(net.attach(a), net.attach(b));
   };
 }
 

@@ -10,19 +10,22 @@
 #include "common/rng.h"
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
-#include "topology/latency_matrix.h"
+#include "topology/landmark_latency.h"
 #include "topology/transit_stub.h"
 
 namespace canon {
 
-/// A generated router graph plus its all-pairs latency matrix.
+/// A generated router graph plus its latency oracle — the exact all-pairs
+/// matrix at default scale, landmark triangulation past the threshold
+/// (see landmark_latency.h).
 class PhysicalNetwork {
  public:
-  PhysicalNetwork(const TransitStubConfig& config, Rng& rng)
-      : topo_(config, rng), latency_(topo_) {}
+  PhysicalNetwork(const TransitStubConfig& config, Rng& rng,
+                  LandmarkLatencyConfig latency_config = {})
+      : topo_(config, rng), latency_(topo_, latency_config) {}
 
   const TransitStubTopology& topology() const { return topo_; }
-  const LatencyMatrix& matrix() const { return latency_; }
+  const LandmarkLatency& latencies() const { return latency_; }
 
   /// Latency between hosts attached to stub routers `ra` and `rb`:
   /// 1 ms up + router path + 1 ms down (2 ms between hosts on one stub).
@@ -37,7 +40,7 @@ class PhysicalNetwork {
 
  private:
   TransitStubTopology topo_;
-  LatencyMatrix latency_;
+  LandmarkLatency latency_;
 };
 
 /// Builds an overlay population of `count` hosts attached uniformly

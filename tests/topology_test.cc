@@ -118,6 +118,81 @@ TEST(LatencyMatrix, CrossDomainIsExpensive) {
   EXPECT_GT(checked, 0);
 }
 
+TEST(LandmarkLatency, ExactModeMatchesMatrixBitForBit) {
+  Rng rng(412);
+  const TransitStubTopology topo(small_config(), rng);
+  // 54 routers is far below the default 4096 threshold: the estimator
+  // must route every query through the exact matrix.
+  const LandmarkLatency est(topo);
+  ASSERT_TRUE(est.exact());
+  const LatencyMatrix m(topo);
+  for (int a = 0; a < topo.router_count(); ++a) {
+    for (int b = 0; b < topo.router_count(); ++b) {
+      EXPECT_EQ(est.latency(a, b), m.latency(a, b));
+    }
+  }
+}
+
+TEST(LandmarkLatency, EstimatesNeverUnderestimateAndBoundError) {
+  Rng rng(413);
+  const TransitStubTopology topo(small_config(), rng);
+  // Force landmark mode on a graph small enough to also hold the exact
+  // matrix for comparison.
+  LandmarkLatencyConfig cfg;
+  cfg.exact_threshold = 0;
+  cfg.stub_stride = 8;
+  const LandmarkLatency est(topo, cfg);
+  ASSERT_FALSE(est.exact());
+  EXPECT_GT(est.landmarks().size(), 0u);
+  const LatencyMatrix m(topo);
+  double rel_sum = 0;
+  int pairs = 0;
+  int exact_pairs = 0;
+  for (int a = 0; a < topo.router_count(); ++a) {
+    for (int b = 0; b < topo.router_count(); ++b) {
+      const double exact = m.latency(a, b);
+      const double approx = est.latency(a, b);
+      // Triangle inequality: a landmark estimate can never come in below
+      // the true shortest path (float rounding aside).
+      EXPECT_GE(approx, exact - 1e-3);
+      if (a != b) {
+        rel_sum += (approx - exact) / exact;
+        ++pairs;
+        exact_pairs += approx <= exact + 1e-3;
+      }
+    }
+  }
+  // Inter-stub-domain pairs are exact (the shortest path crosses a
+  // transit landmark); only intra-domain pairs are overestimated. On this
+  // toy graph (4-router stub domains) those pairs are ~6% of the total —
+  // a far larger share than at paper scale or beyond, where the mean
+  // relative error shrinks toward zero.
+  EXPECT_GT(exact_pairs, pairs * 9 / 10);
+  EXPECT_LT(rel_sum / pairs, 0.25);
+}
+
+TEST(LandmarkLatency, InterDomainEstimatesAreExact) {
+  Rng rng(414);
+  const TransitStubTopology topo(small_config(), rng);
+  LandmarkLatencyConfig cfg;
+  cfg.exact_threshold = 0;
+  const LandmarkLatency est(topo, cfg);
+  const LatencyMatrix m(topo);
+  const auto& stubs = topo.stub_routers();
+  int checked = 0;
+  for (std::size_t i = 0; i < stubs.size(); ++i) {
+    for (std::size_t j = i + 1; j < stubs.size(); ++j) {
+      if (topo.router(stubs[i]).transit_domain !=
+          topo.router(stubs[j]).transit_domain) {
+        EXPECT_NEAR(est.latency(stubs[i], stubs[j]),
+                    m.latency(stubs[i], stubs[j]), 1e-3);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
 TEST(PhysicalNetwork, HostLatencyAddsLastMile) {
   Rng rng(408);
   const PhysicalNetwork phys(small_config(), rng);
@@ -125,7 +200,7 @@ TEST(PhysicalNetwork, HostLatencyAddsLastMile) {
   const int s1 = phys.topology().stub_routers()[1];
   EXPECT_DOUBLE_EQ(phys.host_latency(s0, s0), 2.0);
   EXPECT_DOUBLE_EQ(phys.host_latency(s0, s1),
-                   2.0 + phys.matrix().latency(s0, s1));
+                   2.0 + phys.latencies().latency(s0, s1));
 }
 
 TEST(PhysicalNetwork, MeanHostLatencyIsPlausible) {
