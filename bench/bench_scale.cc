@@ -1,30 +1,42 @@
 // Mega-scale crescendo: streamed construction and batch lookups at
-// 10^6..10^7 nodes (docs/PERFORMANCE.md "Scaling to millions of nodes").
+// 10^6..10^7 nodes, with the resource observatory attached
+// (docs/PERFORMANCE.md "Scaling to millions of nodes", docs/TELEMETRY.md
+// §10 "Resource observatory").
 //
 // Each row builds a fresh population of n nodes (SoA metadata), streams
 // the Crescendo link table shard by shard (build_crescendo_streamed), and
 // fires --lookups uniform queries through the batch QueryEngine's probe
-// hot path. Reported per row:
+// hot path. A fresh MemoryAccountant is installed per row, so every row
+// carries a per-subsystem byte ledger; current_rss_mb() is sampled at
+// every phase boundary and per streamed-build shard into an RSS timeline.
+// Reported per row:
 //
 //   real_time        link-construction wall clock in ms (the gated metric
 //                    — tools/compare_bench.py matches micro-bench reports
 //                    by "name" and gates "real_time")
 //   build_s          the same wall clock in seconds
 //   pop_s            population generation (IDs + hierarchy + sort)
-//   peak_rss_mb      process high-water RSS after the row's build; a
-//                    monotone high-water mark, so rows must be read in
-//                    ascending-n order as "peak so far"
+//   peak_rss_mb      process high-water RSS after the row (monotone over
+//                    the process lifetime)
+//   current_rss_mb   point-in-time RSS after the row (VmRSS) — the pair
+//                    makes each row self-describing; no read-order caveat
 //   links            total directed links
 //   lookups_per_sec  probe-mode batch throughput
 //   mean_hops        mean hop count over OK lookups
 //
-// Row names are "crescendo/<n>". Sizes quadruple from --min-nodes to
-// --max-nodes; the committed BENCH_scale.json carries a smoke run
-// (2^18 + 2^20, gated in CI via --run=bench_scale) and a full 2^22 run
-// for the trajectory. Everything here is deterministic at any --threads;
-// only the wall clocks move.
+// Crescendo row names are "crescendo/<n>"; sizes quadruple from
+// --min-nodes to --max-nodes. A final "landmark/<routers>" row covers the
+// landmark-latency trajectory: a transit-stub topology past the 4096-router
+// exact threshold, its LandmarkLatency estimator, and a physical population
+// of --landmark-nodes hosts (0 disables the row). Per-subsystem peak bytes
+// ride in "mem/<row>/<tag>" series rows (gated in CI via
+// compare_bench.py --metric=peak_bytes) and the full ledgers plus the RSS
+// timeline land in metrics.memory. Attributed tags and bytes are
+// byte-identical at any --threads; only wall clocks and measured RSS move
+// (check_json_schema.py --threads-invariant strips exactly those).
 #include <chrono>
 #include <iostream>
+#include <mutex>
 
 #include "bench/bench_util.h"
 #include "canon/crescendo.h"
@@ -32,6 +44,9 @@
 #include "overlay/population.h"
 #include "overlay/query_engine.h"
 #include "overlay/routing.h"
+#include "telemetry/mem_stats.h"
+#include "telemetry/timeseries.h"
+#include "topology/physical_network.h"
 
 using namespace canon;
 
@@ -43,6 +58,47 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Wall-clock RSS timeline over the whole bench run: thread-safe sampler
+/// feeding the TimeSeriesRecorder's rss channel (the recorder itself is
+/// single-threaded, so samples from build workers funnel through a mutex).
+class RssTimeline {
+ public:
+  void sample() {
+    const double at_ms = seconds_since(epoch_) * 1e3;
+    const double mb = bench::current_rss_mb();
+    std::lock_guard<std::mutex> lock(mu_);
+    series_.rss_mb(at_ms, mb);
+  }
+  telemetry::JsonValue to_json() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return series_.to_json();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::mutex mu_;
+  telemetry::TimeSeriesRecorder series_{100.0};  // 100 ms windows
+};
+
+/// One row's ledger + measured-RSS report under metrics.memory, plus the
+/// "mem/<row>/<tag>" series rows the CI byte gate matches by name.
+void emit_memory_report(bench::BenchRun& run, const std::string& row_name,
+                        const telemetry::MemoryAccountant& acct,
+                        telemetry::JsonValue measured,
+                        telemetry::JsonValue& memory_section) {
+  telemetry::JsonValue entry = acct.to_json();
+  entry.set("measured", std::move(measured));
+  memory_section.set(row_name, std::move(entry));
+  for (const auto& [tag, stats] : acct.tags()) {
+    telemetry::JsonValue row = telemetry::JsonValue::object();
+    row.set("name", telemetry::JsonValue("mem/" + row_name + "/" + tag));
+    row.set("peak_bytes", telemetry::JsonValue(stats.peak));
+    row.set("current_bytes", telemetry::JsonValue(stats.current));
+    run.report().add_row(std::move(row));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,21 +108,39 @@ int main(int argc, char** argv) {
   const std::uint64_t lookups = run.u64("lookups", 100000);
   const int levels = static_cast<int>(run.u64("levels", 3));
   const std::uint64_t shard_nodes = run.u64("shard-nodes", kStreamShardNodes);
+  const std::uint64_t landmark_nodes =
+      run.u64("landmark-nodes", std::uint64_t{1} << 16);
   run.header("Mega-scale crescendo: streamed build + batch lookups",
              "construction/lookup throughput at 10^6+ nodes "
-             "(32-bit hot paths, SoA metadata, streamed CSR)");
+             "(32-bit hot paths, SoA metadata, streamed CSR, "
+             "per-subsystem memory ledger)");
 
-  TextTable table({"nodes", "pop s", "build s", "peak RSS MB", "links",
-                   "Mlookups/s", "mean hops"});
+  RssTimeline timeline;
+  telemetry::JsonValue memory_section = telemetry::JsonValue::object();
+
+  TextTable table({"row", "pop s", "build s", "RSS MB (peak/now)",
+                   "attributed MB", "links", "Mlookups/s", "mean hops"});
+
   for (std::uint64_t n = min_n; n <= max_n; n *= 4) {
+    telemetry::MemoryAccountant acct;
+    telemetry::MemoryAccountant* prev =
+        telemetry::install_mem_accountant(&acct);
+    timeline.sample();
+    const double start_mb = bench::current_rss_mb();
+
     auto start = std::chrono::steady_clock::now();
     const auto net = bench::bench_population(n, levels, run.seed);
     const double pop_s = seconds_since(start);
+    timeline.sample();
+    const double after_pop_mb = bench::current_rss_mb();
 
     start = std::chrono::steady_clock::now();
-    const auto links = build_crescendo_streamed(net, shard_nodes);
+    const auto links = build_crescendo_streamed(
+        net, shard_nodes,
+        [&timeline](std::size_t, std::size_t) { timeline.sample(); });
     const double build_s = seconds_since(start);
-    const double rss_mb = bench::peak_rss_mb();
+    timeline.sample();
+    const double after_build_mb = bench::current_rss_mb();
 
     const RingRouter router(net, links);
     QueryEngine engine(net);
@@ -74,39 +148,164 @@ int main(int argc, char** argv) {
     start = std::chrono::steady_clock::now();
     const QueryStats stats = engine.run(queries, router);
     const double query_s = seconds_since(start);
+    timeline.sample();
     if (stats.failures != 0) {
       std::cerr << "routing failure (broken structure)\n";
       return 1;
     }
     const double lookups_per_sec =
         query_s > 0 ? static_cast<double>(lookups) / query_s : 0.0;
+    const double peak_mb = bench::peak_rss_mb();
+    const double now_mb = bench::current_rss_mb();
+    const double attributed_mb =
+        static_cast<double>(acct.current_bytes()) / (1024.0 * 1024.0);
 
-    table.add_row({TextTable::num(n), TextTable::num(pop_s, 2),
-                   TextTable::num(build_s, 2), TextTable::num(rss_mb, 0),
+    const std::string row_name = "crescendo/" + std::to_string(n);
+    table.add_row({row_name, TextTable::num(pop_s, 2),
+                   TextTable::num(build_s, 2),
+                   TextTable::num(peak_mb, 0) + "/" +
+                       TextTable::num(now_mb, 0),
+                   TextTable::num(attributed_mb, 0),
                    TextTable::num(links.total_links()),
                    TextTable::num(lookups_per_sec / 1e6, 2),
                    TextTable::num(stats.hops.mean(), 2)});
     if (run.json_enabled()) {
-      run.metrics().gauge("build.peak_rss_mb").set(rss_mb);
+      run.metrics().gauge("build.peak_rss_mb").set(peak_mb);
       telemetry::JsonValue row = telemetry::JsonValue::object();
-      row.set("name",
-              telemetry::JsonValue("crescendo/" + std::to_string(n)));
+      row.set("name", telemetry::JsonValue(row_name));
       row.set("nodes", telemetry::JsonValue(n));
       row.set("levels", telemetry::JsonValue(
                             static_cast<std::int64_t>(levels)));
       row.set("real_time", telemetry::JsonValue(build_s * 1e3));
       row.set("build_s", telemetry::JsonValue(build_s));
       row.set("pop_s", telemetry::JsonValue(pop_s));
-      row.set("peak_rss_mb", telemetry::JsonValue(rss_mb));
+      row.set("peak_rss_mb", telemetry::JsonValue(peak_mb));
+      row.set("current_rss_mb", telemetry::JsonValue(now_mb));
       row.set("links", telemetry::JsonValue(links.total_links()));
       row.set("lookups", telemetry::JsonValue(lookups));
       row.set("lookups_per_sec", telemetry::JsonValue(lookups_per_sec));
       row.set("mean_hops", telemetry::JsonValue(stats.hops.mean()));
       run.report().add_row(std::move(row));
+
+      telemetry::JsonValue measured = telemetry::JsonValue::object();
+      measured.set("start_mb", telemetry::JsonValue(start_mb));
+      measured.set("after_pop_mb", telemetry::JsonValue(after_pop_mb));
+      measured.set("after_build_mb", telemetry::JsonValue(after_build_mb));
+      measured.set("after_queries_mb", telemetry::JsonValue(now_mb));
+      measured.set("peak_mb", telemetry::JsonValue(peak_mb));
+      emit_memory_report(run, row_name, acct, std::move(measured),
+                         memory_section);
     }
+    telemetry::install_mem_accountant(prev);
   }
+
+  // Landmark-mode row: a transit-stub topology past the 4096-router exact
+  // threshold (the ROADMAP's uncovered trajectory), its LandmarkLatency
+  // estimator, and a crescendo build over a physical population.
+  if (landmark_nodes > 0) {
+    telemetry::MemoryAccountant acct;
+    telemetry::MemoryAccountant* prev =
+        telemetry::install_mem_accountant(&acct);
+    timeline.sample();
+    const double start_mb = bench::current_rss_mb();
+
+    TransitStubConfig topo_config;  // 40 transit + 5120 stub = 5160 routers
+    topo_config.stub_domains_per_transit = 8;
+    topo_config.stubs_per_domain = 16;
+
+    auto start = std::chrono::steady_clock::now();
+    Rng rng(run.seed);
+    const PhysicalNetwork phys(topo_config, rng);
+    const double latency_build_s = seconds_since(start);
+    timeline.sample();
+
+    start = std::chrono::steady_clock::now();
+    const auto net =
+        make_physical_population(landmark_nodes, phys, 32, rng);
+    const double pop_s = seconds_since(start);
+    timeline.sample();
+    const double after_pop_mb = bench::current_rss_mb();
+
+    start = std::chrono::steady_clock::now();
+    const auto links = build_crescendo_streamed(
+        net, shard_nodes,
+        [&timeline](std::size_t, std::size_t) { timeline.sample(); });
+    const double build_s = seconds_since(start);
+    timeline.sample();
+    const double after_build_mb = bench::current_rss_mb();
+
+    const RingRouter router(net, links);
+    QueryEngine engine(net);
+    const auto queries = uniform_workload(net, lookups, Rng(run.seed));
+    start = std::chrono::steady_clock::now();
+    const QueryStats stats = engine.run(queries, router);
+    const double query_s = seconds_since(start);
+    timeline.sample();
+    if (stats.failures != 0) {
+      std::cerr << "routing failure (broken structure)\n";
+      return 1;
+    }
+    const double lookups_per_sec =
+        query_s > 0 ? static_cast<double>(lookups) / query_s : 0.0;
+    const double peak_mb = bench::peak_rss_mb();
+    const double now_mb = bench::current_rss_mb();
+    const double attributed_mb =
+        static_cast<double>(acct.current_bytes()) / (1024.0 * 1024.0);
+    const int routers = phys.topology().router_count();
+    if (phys.latencies().exact()) {
+      std::cerr << "landmark row unexpectedly on the exact-matrix path\n";
+      return 1;
+    }
+
+    const std::string row_name = "landmark/" + std::to_string(routers);
+    table.add_row({row_name, TextTable::num(pop_s, 2),
+                   TextTable::num(build_s, 2),
+                   TextTable::num(peak_mb, 0) + "/" +
+                       TextTable::num(now_mb, 0),
+                   TextTable::num(attributed_mb, 0),
+                   TextTable::num(links.total_links()),
+                   TextTable::num(lookups_per_sec / 1e6, 2),
+                   TextTable::num(stats.hops.mean(), 2)});
+    if (run.json_enabled()) {
+      telemetry::JsonValue row = telemetry::JsonValue::object();
+      row.set("name", telemetry::JsonValue(row_name));
+      row.set("nodes", telemetry::JsonValue(landmark_nodes));
+      row.set("routers", telemetry::JsonValue(
+                             static_cast<std::int64_t>(routers)));
+      row.set("landmarks",
+              telemetry::JsonValue(static_cast<std::uint64_t>(
+                  phys.latencies().landmarks().size())));
+      row.set("real_time", telemetry::JsonValue(build_s * 1e3));
+      row.set("build_s", telemetry::JsonValue(build_s));
+      row.set("pop_s", telemetry::JsonValue(pop_s));
+      row.set("latency_build_s", telemetry::JsonValue(latency_build_s));
+      row.set("peak_rss_mb", telemetry::JsonValue(peak_mb));
+      row.set("current_rss_mb", telemetry::JsonValue(now_mb));
+      row.set("links", telemetry::JsonValue(links.total_links()));
+      row.set("lookups", telemetry::JsonValue(lookups));
+      row.set("lookups_per_sec", telemetry::JsonValue(lookups_per_sec));
+      row.set("mean_hops", telemetry::JsonValue(stats.hops.mean()));
+      run.report().add_row(std::move(row));
+
+      telemetry::JsonValue measured = telemetry::JsonValue::object();
+      measured.set("start_mb", telemetry::JsonValue(start_mb));
+      measured.set("after_pop_mb", telemetry::JsonValue(after_pop_mb));
+      measured.set("after_build_mb", telemetry::JsonValue(after_build_mb));
+      measured.set("after_queries_mb", telemetry::JsonValue(now_mb));
+      measured.set("peak_mb", telemetry::JsonValue(peak_mb));
+      emit_memory_report(run, row_name, acct, std::move(measured),
+                         memory_section);
+    }
+    telemetry::install_mem_accountant(prev);
+  }
+
+  if (run.json_enabled()) {
+    memory_section.set("rss_timeline", timeline.to_json());
+    run.report().set_metric("memory", std::move(memory_section));
+  }
+
   table.print(std::cout);
-  std::cout << "\n(peak RSS is a process high-water mark: read rows in "
-               "ascending-n order as \"peak so far\")\n";
+  std::cout << "\n(RSS MB column is peak/current; per-subsystem bytes in "
+               "the JSON report's metrics.memory section)\n";
   return run.finish();
 }

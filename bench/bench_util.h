@@ -22,8 +22,6 @@
 #ifndef CANON_BENCH_BENCH_UTIL_H
 #define CANON_BENCH_BENCH_UTIL_H
 
-#include <sys/resource.h>
-
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
@@ -38,6 +36,7 @@
 #include "common/table.h"
 #include "overlay/population.h"
 #include "telemetry/json_writer.h"
+#include "telemetry/mem_stats.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
 
@@ -58,16 +57,16 @@ inline OverlayNetwork bench_population(std::size_t n, int levels,
 }
 
 /// The process's peak resident set size in MB (getrusage high-water mark;
-/// ru_maxrss is in KB on Linux). Monotone over the process lifetime, so a
-/// bench that reports per-phase values must sample in ascending-size
-/// order and read each value as "peak so far". Only the scale bench
-/// records it (as the build.peak_rss_mb gauge) — the figure benches leave
-/// their reports free of machine-dependent gauges beyond timings.
-inline double peak_rss_mb() {
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
+/// ru_maxrss is in KB on Linux). Monotone over the process lifetime —
+/// pair it with current_rss_mb() for a point-in-time figure (the scale
+/// bench reports both per row). Only the scale bench records it (as the
+/// build.peak_rss_mb gauge) — the figure benches leave their reports free
+/// of machine-dependent gauges beyond timings.
+inline double peak_rss_mb() { return telemetry::peak_rss_mb(); }
+
+/// The process's resident set size right now, in MB (VmRSS from
+/// /proc/self/status; see telemetry/mem_stats.h for the fallbacks).
+inline double current_rss_mb() { return telemetry::current_rss_mb(); }
 
 inline void header(const char* title, const char* paper_ref) {
   std::printf("== %s ==\n", title);

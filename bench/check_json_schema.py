@@ -43,11 +43,22 @@ Five modes:
 
   check_json_schema.py --scale <bench_scale_binary>
     Runs the mega-scale bench with small parameters and asserts the
-    per-row schema (name, build wall clock, peak RSS, link count, lookup
-    throughput, mean hops), that the build.peak_rss_mb gauge is recorded,
-    that every row routed its full lookup batch without failures, and
-    that peak RSS is non-decreasing in ascending-n row order (it is a
-    process high-water mark).
+    per-row schema (name, build wall clock, peak + current RSS, link
+    count, lookup throughput, mean hops), that the build.peak_rss_mb
+    gauge is recorded, that the landmark-mode row crossed the exact
+    threshold (> 4096 routers), and that every row routed its full
+    lookup batch without failures. Each row reports both peak_rss_mb
+    (process high-water) and current_rss_mb (point-in-time), so rows
+    are self-describing in any read order.
+
+  check_json_schema.py --resources <bench_scale_binary>
+    Runs the mega-scale bench and validates the resource observatory:
+    the metrics.memory ledgers (per-tag current <= peak, charges >= 1,
+    tag currents summing to the attributed total, the expected subsystem
+    tag set per row), the measured-RSS phase samples, the RSS timeline
+    (windows ordered, rss_mb populated), and the mem/<row>/<tag> series
+    rows agreeing byte-for-byte with the ledgers (these rows are what
+    CI's compare_bench --metric=peak_bytes gates).
 """
 import json
 import os
@@ -355,7 +366,7 @@ def check_scale(binary):
         out = os.path.join(tmp, "report.json")
         subprocess.run(
             [binary, "--min-nodes=4096", "--max-nodes=16384",
-             "--lookups=2000", f"--json={out}"],
+             "--lookups=2000", "--landmark-nodes=8192", f"--json={out}"],
             check=True, stdout=subprocess.DEVNULL)
         with open(out) as f:
             doc = json.load(f)
@@ -363,29 +374,109 @@ def check_scale(binary):
     assert doc["bench"] == "bench_scale"
     assert doc["metrics"]["gauges"].get("build.peak_rss_mb", 0) > 0, (
         "build.peak_rss_mb gauge missing")
-    assert len(doc["series"]) == 2, f"expected 2 rows (4096, 16384)"
-    prev_rss = 0.0
-    for row in doc["series"]:
+    rows = [r for r in doc["series"] if not r["name"].startswith("mem/")]
+    names = [r["name"] for r in rows]
+    assert names[:2] == ["crescendo/4096", "crescendo/16384"], names
+    assert len(rows) == 3 and names[2].startswith("landmark/"), names
+    for row in rows:
         for key in ("name", "nodes", "real_time", "build_s", "pop_s",
-                    "peak_rss_mb", "links", "lookups", "lookups_per_sec",
-                    "mean_hops"):
+                    "peak_rss_mb", "current_rss_mb", "links", "lookups",
+                    "lookups_per_sec", "mean_hops"):
             assert key in row, f"scale row missing {key!r}"
-        assert row["name"] == f"crescendo/{row['nodes']}", row["name"]
         assert row["real_time"] > 0 and row["build_s"] > 0, row
         assert row["links"] > row["nodes"], (
             f"{row['nodes']} nodes carry only {row['links']} links")
         assert row["lookups_per_sec"] > 0, row
         assert row["mean_hops"] > 1.0, row
-        # Peak RSS is a process high-water mark: non-decreasing in
-        # ascending-n row order.
-        assert row["peak_rss_mb"] >= prev_rss > -1, row
-        prev_rss = row["peak_rss_mb"]
+        # Both RSS flavors per row: the high-water mark and the
+        # point-in-time figure (rows are self-describing in any order).
+        assert row["peak_rss_mb"] >= row["current_rss_mb"] * 0.5 > 0, row
+    for row in rows[:2]:
+        assert row["name"] == f"crescendo/{row['nodes']}", row["name"]
+    landmark = rows[2]
+    assert landmark["routers"] > 4096, (
+        f"landmark row must exceed the exact threshold: {landmark}")
+    assert landmark["landmarks"] > 0, landmark
+    assert landmark["latency_build_s"] >= 0, landmark
     counters = doc["metrics"]["counters"]
-    assert counters["query_engine.queries"] == 2 * 2000
+    assert counters["query_engine.queries"] == 3 * 2000
     assert counters["query_engine.failures"] == 0
 
 
+# Subsystem tags every bench_scale row's ledger must carry (the landmark
+# row adds "topology.landmark" on top).
+EXPECTED_SCALE_TAGS = {"overlay.soa", "hierarchy.path_pool",
+                       "hierarchy.domain_tree", "link_table.csr",
+                       "overlay.stream_chunks"}
+
+
+def check_memory_ledger(mem, context):
+    """Asserts MemoryAccountant.to_json() invariants for one row."""
+    for key in ("attributed", "tags"):
+        assert key in mem, f"{context}: ledger missing {key!r}"
+    att = mem["attributed"]
+    assert 0 <= att["current_bytes"] <= att["peak_bytes"], (context, att)
+    total_current = 0
+    for tag, st in mem["tags"].items():
+        assert 0 <= st["current_bytes"] <= st["peak_bytes"], (context, tag)
+        assert st["charges"] >= 1, (context, tag)
+        total_current += st["current_bytes"]
+    assert total_current == att["current_bytes"], (
+        f"{context}: tag currents sum to {total_current}, "
+        f"attributed says {att['current_bytes']}")
+    assert att["peak_bytes"] >= max(
+        st["peak_bytes"] for st in mem["tags"].values()), context
+
+
+def check_resources(binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "report.json")
+        subprocess.run(
+            [binary, "--min-nodes=4096", "--max-nodes=4096",
+             "--lookups=1000", "--landmark-nodes=8192", f"--json={out}"],
+            check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+    check_report_envelope(doc)
+    memory = doc["metrics"]["memory"]
+    row_names = [r["name"] for r in doc["series"]
+                 if not r["name"].startswith("mem/")]
+    assert set(memory) == set(row_names) | {"rss_timeline"}, (
+        f"memory section keys {set(memory)} != rows {row_names}")
+    mem_rows = {r["name"]: r for r in doc["series"]
+                if r["name"].startswith("mem/")}
+    for name in row_names:
+        ledger = memory[name]
+        check_memory_ledger(ledger, name)
+        expected = set(EXPECTED_SCALE_TAGS)
+        if name.startswith("landmark/"):
+            expected.add("topology.landmark")
+        assert expected <= set(ledger["tags"]), (
+            f"{name}: tags {set(ledger['tags'])} missing "
+            f"{expected - set(ledger['tags'])}")
+        measured = ledger["measured"]
+        for key in ("start_mb", "after_pop_mb", "after_build_mb",
+                    "after_queries_mb", "peak_mb"):
+            assert measured.get(key, 0) > 0, f"{name}: measured.{key}"
+        assert measured["peak_mb"] >= measured["start_mb"], measured
+        # Every ledger tag rides as a mem/<row>/<tag> series row with the
+        # same bytes — the rows CI's compare_bench --metric=peak_bytes
+        # gates against BENCH_scale.json.
+        for tag, st in ledger["tags"].items():
+            row = mem_rows.get(f"mem/{name}/{tag}")
+            assert row is not None, f"missing series row mem/{name}/{tag}"
+            assert row["peak_bytes"] == st["peak_bytes"], (name, tag)
+            assert row["current_bytes"] == st["current_bytes"], (name, tag)
+    timeline = memory["rss_timeline"]
+    assert timeline, "empty RSS timeline"
+    times = [w["t_ms"] for w in timeline]
+    assert times == sorted(times), "RSS timeline windows out of order"
+    assert all(w.get("rss_mb", 0) > 0 for w in timeline), (
+        "RSS timeline window without an rss_mb sample")
+
+
 SCALE_WALL_CLOCK_FIELDS = ("real_time", "build_s", "pop_s", "peak_rss_mb",
+                           "current_rss_mb", "latency_build_s",
                            "lookups_per_sec")
 
 
@@ -397,10 +488,18 @@ def strip_timing(doc):
     if doc.get("bench") == "bench_scale":
         # The scale bench reports wall clocks and RSS per series row; the
         # determinism contract covers the structural fields that remain
-        # (nodes, links, lookups, mean_hops).
+        # (nodes, links, lookups, mean_hops, and every attributed byte
+        # figure — the ledger is a pure function of the charge sequence).
         for row in doc["series"]:
             for field in SCALE_WALL_CLOCK_FIELDS:
                 row.pop(field, None)
+        memory = doc["metrics"].get("memory")
+        if memory:
+            # Measured RSS and the wall-clock-bucketed timeline move with
+            # the machine; the attributed ledgers must not.
+            memory.pop("rss_timeline", None)
+            for entry in memory.values():
+                entry.pop("measured", None)
     return doc
 
 
@@ -430,6 +529,8 @@ def main():
         check_load(sys.argv[2])
     elif sys.argv[1] == "--scale":
         check_scale(sys.argv[2])
+    elif sys.argv[1] == "--resources":
+        check_resources(sys.argv[2])
     else:
         check_bench(sys.argv[1])
     print("ok")

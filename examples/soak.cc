@@ -8,8 +8,13 @@
 //                          and windowed load_snapshot events)
 //        --json=<path>    (BenchReport with the final audit, the load
 //                          phase's time series, and a load report)
-// The run fails (exit 1) if lookups fail under load, post-failure routing
-// drops below 99%, or the structural audit reports any violation.
+//        --trace=<path>   (Chrome trace-event JSON of the construction
+//                          phases; a FlameGraph/speedscope collapsed-stack
+//                          profile lands next to it at <path>.folded)
+// The run always ends with a resource report: per-subsystem attributed
+// bytes against measured RSS (docs/TELEMETRY.md section 10). It fails
+// (exit 1) if lookups fail under load, post-failure routing drops below
+// 99%, or the structural audit reports any violation.
 #include <iostream>
 #include <memory>
 
@@ -22,9 +27,12 @@
 #include "overlay/event_sim.h"
 #include "overlay/population.h"
 #include "overlay/resilient_routing.h"
+#include "telemetry/flame_export.h"
 #include "telemetry/journal.h"
 #include "telemetry/load_stats.h"
+#include "telemetry/mem_stats.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace_export.h"
 
 using namespace canon;
 
@@ -33,6 +41,15 @@ int main(int argc, char** argv) {
   const std::uint64_t node_count = run.u64("nodes", 4096);
   const std::uint64_t lookup_count = run.u64("lookups", 20000);
   const std::string journal_path = run.str("journal", "");
+  const std::string trace_path = run.str("trace", "");
+
+  // The resource observatory rides along on every soak: subsystem byte
+  // ledger + construction-phase spans (printed at the end; exported when
+  // --trace is given).
+  telemetry::MemoryAccountant accountant;
+  telemetry::install_mem_accountant(&accountant);
+  telemetry::SpanLog spans;
+  telemetry::install_span_log(&spans);
 
   Rng rng(run.seed * 10101 + 424242);
   PopulationSpec spec;
@@ -128,6 +145,37 @@ int main(int argc, char** argv) {
             << TextTable::num(100.0 * ok / kTrials, 2) << "%)\n";
   std::cout << "  mean hops " << TextTable::num(hops.mean(), 2)
             << " (leaf sets route around the dead)\n";
+
+  // Resource report: which subsystem owns the bytes, against measured RSS.
+  std::cout << "\nresource report:\n";
+  for (const auto& [tag, stats] : accountant.tags()) {
+    std::cout << "  " << tag << ": "
+              << TextTable::num(static_cast<double>(stats.current) / 1024.0,
+                                0)
+              << " KB now, "
+              << TextTable::num(static_cast<double>(stats.peak) / 1024.0, 0)
+              << " KB peak\n";
+  }
+  std::cout << "  attributed "
+            << TextTable::num(static_cast<double>(accountant.current_bytes())
+                                  / (1024.0 * 1024.0), 1)
+            << " MB of " << TextTable::num(telemetry::current_rss_mb(), 1)
+            << " MB resident (" << TextTable::num(telemetry::peak_rss_mb(), 1)
+            << " MB peak)\n";
+
+  if (!trace_path.empty()) {
+    telemetry::TraceExporter exporter;
+    exporter.set_process_name(telemetry::TraceExporter::kBuildPid,
+                              "construction phases");
+    exporter.add_span_log(spans);
+    exporter.write_file(trace_path);
+    const std::string folded = trace_path + ".folded";
+    const std::size_t stacks =
+        telemetry::write_collapsed_stacks(spans, folded);
+    std::cout << "trace: " << exporter.event_count() << " events -> "
+              << trace_path << "; " << stacks << " collapsed stacks -> "
+              << folded << " (speedscope / flamegraph.pl)\n";
+  }
 
   if (journal) journal->flush();
   {

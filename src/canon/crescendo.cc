@@ -24,14 +24,17 @@ void add_crescendo_links(const OverlayNetwork& net, NodeIndex m,
   }
 }
 
-LinkTable build_crescendo_streamed(const OverlayNetwork& net,
-                                   std::size_t shard_nodes) {
+LinkTable build_crescendo_streamed(
+    const OverlayNetwork& net, std::size_t shard_nodes,
+    const std::function<void(std::size_t done, std::size_t shards)>&
+        on_shard) {
   telemetry::ScopedTimer timer("build.crescendo_streamed_ms");
   return LinkTable::build_streaming(
       net.size(), net.ids(), shard_nodes,
       [&net](NodeIndex m, LinkTable& sink) {
         add_crescendo_links(net, m, sink);
-      });
+      },
+      on_shard);
 }
 
 LinkTable build_crescendo(const OverlayNetwork& net) {

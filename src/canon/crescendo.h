@@ -36,10 +36,13 @@ inline constexpr std::size_t kStreamShardNodes = 8192;
 /// freeing each shard's build rows as it completes. This is the mega-scale
 /// entry point: at 10^6+ nodes it trims the construction's peak RSS by the
 /// per-node build-vector overhead the plain path holds across the whole
-/// population.
-LinkTable build_crescendo_streamed(const OverlayNetwork& net,
-                                   std::size_t shard_nodes =
-                                       kStreamShardNodes);
+/// population. `on_shard` is LinkTable::build_streaming's progress hook
+/// (thread-safe callback, never influences the built table) — the
+/// resource observatory samples the RSS timeline through it.
+LinkTable build_crescendo_streamed(
+    const OverlayNetwork& net, std::size_t shard_nodes = kStreamShardNodes,
+    const std::function<void(std::size_t done, std::size_t shards)>&
+        on_shard = {});
 
 }  // namespace canon
 

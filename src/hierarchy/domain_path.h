@@ -144,6 +144,14 @@ struct DomainPathPool {
                     path.branches().end());
     offsets.push_back(static_cast<std::uint32_t>(branches.size()));
   }
+
+  /// Allocated bytes of the pool's backing stores (capacity-based; feeds
+  /// the memory accountant's "hierarchy.path_pool" tag).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(offsets.capacity()) * sizeof(offsets[0]) +
+           static_cast<std::uint64_t>(branches.capacity()) *
+               sizeof(branches[0]);
+  }
 };
 
 }  // namespace canon

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <type_traits>
 
 namespace canon {
 
@@ -137,6 +138,19 @@ int DomainTree::domain_of(NodeIndex node, int level) const {
     throw std::out_of_range("DomainTree::domain_of: bad level");
   }
   return chain[static_cast<std::size_t>(level)];
+}
+
+std::uint64_t DomainTree::memory_bytes() const {
+  auto vec_bytes = [](const auto& v) {
+    return static_cast<std::uint64_t>(v.capacity()) *
+           sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::uint64_t bytes =
+      vec_bytes(domains_) + vec_bytes(chain_offsets_) + vec_bytes(chains_);
+  for (const Domain& d : domains_) {
+    bytes += vec_bytes(d.children) + vec_bytes(d.members);
+  }
+  return bytes;
 }
 
 }  // namespace canon

@@ -78,6 +78,11 @@ class DomainTree {
                                      chain_offsets_[node])};
   }
 
+  /// Allocated bytes of the tree: the domain array (including every
+  /// domain's children/members backing stores) plus the flat chain pool.
+  /// Feeds the memory accountant's "hierarchy.domain_tree" tag.
+  std::uint64_t memory_bytes() const;
+
  private:
   void build(std::span<const std::uint32_t> path_offsets,
              std::span<const std::uint16_t> path_branches,

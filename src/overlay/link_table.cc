@@ -1,6 +1,7 @@
 #include "overlay/link_table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <stdexcept>
 
@@ -22,6 +23,15 @@ LinkOffset checked_offset(std::size_t links) {
         "LinkTable: more than 2^32 - 1 links (LinkOffset overflow)");
   }
   return static_cast<LinkOffset>(links);
+}
+
+/// Allocated bytes of the per-node build rows: each row's backing store
+/// plus its vector header. Capacities are a pure function of the add()
+/// sequence per node, so the figure is thread-invariant.
+std::uint64_t rows_bytes(const std::vector<std::vector<NodeIndex>>& rows) {
+  std::uint64_t bytes = telemetry::vector_bytes(rows);
+  for (const auto& row : rows) bytes += telemetry::vector_bytes(row);
+  return bytes;
 }
 
 }  // namespace
@@ -49,6 +59,10 @@ void LinkTable::finalize(std::span<const NodeId> ids) {
   if (telemetry::Gauge* g = telemetry::maybe_gauge("build.threads")) {
     g->set(parallel_threads());
   }
+  // Transient ledger charge for the build rows the CSR replaces; held
+  // until the rows are freed at the end, so the link_table.csr charge
+  // below overlaps it the way the allocations really do.
+  telemetry::MemScope row_scope("overlay.link_rows", rows_bytes(rows_));
   // Sort and deduplicate every row; rows are independent, so shard them.
   parallel_for(node_count_, kFinalizeGrain,
                [&](std::size_t begin, std::size_t end) {
@@ -83,6 +97,7 @@ void LinkTable::finalize(std::span<const NodeId> ids) {
                    }
                  }
                });
+  account_csr();
   rows_.clear();
   rows_.shrink_to_fit();
   finalized_ = true;
@@ -91,7 +106,9 @@ void LinkTable::finalize(std::span<const NodeId> ids) {
 LinkTable LinkTable::build_streaming(
     std::size_t node_count, std::span<const NodeId> ids,
     std::size_t shard_nodes,
-    const std::function<void(NodeIndex node, LinkTable& sink)>& add_links) {
+    const std::function<void(NodeIndex node, LinkTable& sink)>& add_links,
+    const std::function<void(std::size_t done, std::size_t shards)>&
+        on_shard) {
   if (shard_nodes == 0) {
     throw std::invalid_argument("LinkTable::build_streaming: shard_nodes == 0");
   }
@@ -109,6 +126,7 @@ LinkTable LinkTable::build_streaming(
     std::vector<LinkOffset> sizes;
   };
   std::vector<Chunk> chunks(shards);
+  std::atomic<std::size_t> shards_done{0};
   parallel_for(shards, 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
       const std::size_t lo = s * shard_nodes;
@@ -125,8 +143,22 @@ LinkTable LinkTable::build_streaming(
         row.clear();
         row.shrink_to_fit();
       }
+      if (on_shard) {
+        on_shard(shards_done.fetch_add(1, std::memory_order_relaxed) + 1,
+                 shards);
+      }
     }
   });
+  // Ledger charge for the compacted chunks, in fixed shard order on the
+  // calling thread (the in-flight build rows themselves are bounded by one
+  // shard per worker and are not attributed; the RSS timeline measures
+  // them). Held until the chunks are freed at return, overlapping the CSR
+  // charge below exactly as the allocations do.
+  telemetry::MemScope chunk_scope("overlay.stream_chunks");
+  for (const Chunk& chunk : chunks) {
+    chunk_scope.add(telemetry::vector_bytes(chunk.targets) +
+                    telemetry::vector_bytes(chunk.sizes));
+  }
   // Serial prefix sum over the per-node sizes (fixed shard order), then a
   // sharded scatter of the chunks into the final CSR arrays.
   out.offsets_.assign(node_count + 1, 0);
@@ -161,10 +193,19 @@ LinkTable LinkTable::build_streaming(
   out.rows_.clear();
   out.rows_.shrink_to_fit();
   out.finalized_ = true;
+  out.account_csr();
   if (telemetry::Gauge* g = telemetry::maybe_gauge("build.threads")) {
     g->set(parallel_threads());
   }
   return out;
+}
+
+void LinkTable::account_csr() {
+  mem_.reset("link_table.csr",
+             telemetry::vector_bytes(offsets_) +
+                 telemetry::vector_bytes(targets_) +
+                 telemetry::vector_bytes(target_ids_) +
+                 telemetry::vector_bytes(ids_));
 }
 
 void LinkTable::throw_neighbor_ids_unavailable() const {
@@ -262,6 +303,9 @@ void LinkTable::set_neighbors(NodeIndex node,
       offsets_[m] = static_cast<LinkOffset>(
           static_cast<std::ptrdiff_t>(offsets_[m]) + delta);
     }
+    // Keep the ledger holding in step with the spliced arrays; tables
+    // built before the accountant was installed stay off the ledger.
+    if (mem_.held() != 0) account_csr();
   }
 }
 

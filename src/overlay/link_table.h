@@ -48,6 +48,7 @@
 
 #include "common/ids.h"
 #include "common/stats.h"
+#include "telemetry/mem_stats.h"
 
 namespace canon {
 
@@ -92,10 +93,19 @@ class LinkTable {
   /// fixed shard order, so the result is byte-identical to
   /// add()-then-finalize() at every thread count (operator== compares
   /// equal).
+  ///
+  /// `on_shard(done, shards)`, when given, fires after each shard's rows
+  /// are compacted, from whichever worker ran the shard (`done` counts
+  /// completed shards so far). It must be thread-safe and must not touch
+  /// the table; the resource observatory uses it to sample the RSS
+  /// timeline mid-build (bench/bench_scale.cc). It never influences the
+  /// built table.
   static LinkTable build_streaming(
       std::size_t node_count, std::span<const NodeId> ids,
       std::size_t shard_nodes,
-      const std::function<void(NodeIndex node, LinkTable& sink)>& add_links);
+      const std::function<void(NodeIndex node, LinkTable& sink)>& add_links,
+      const std::function<void(std::size_t done, std::size_t shards)>&
+          on_shard = {});
 
   bool finalized() const { return finalized_; }
 
@@ -156,12 +166,17 @@ class LinkTable {
  private:
   [[noreturn]] void throw_neighbor_ids_unavailable() const;
 
+  /// (Re)charges the finalized CSR footprint to the memory accountant
+  /// under "link_table.csr" (no-op when none is installed).
+  void account_csr();
+
   std::size_t node_count_ = 0;
   std::vector<std::vector<NodeIndex>> rows_;  // build phase only
   std::vector<LinkOffset> offsets_;           // CSR, node_count_ + 1
   std::vector<NodeIndex> targets_;            // CSR, flat indices
   std::vector<NodeId> target_ids_;            // CSR, flat NodeIds
   std::vector<NodeId> ids_;       // node index -> NodeId (if captured)
+  telemetry::MemCharge mem_;      // ledger holding for the CSR arrays
   bool finalized_ = false;
 };
 

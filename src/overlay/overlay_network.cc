@@ -159,7 +159,12 @@ OverlayNetwork::OverlayNetwork(IdSpace space, Soa soa)
       paths_(std::move(soa.paths)),
       attach_(std::move(soa.attach)),
       tree_({paths_.offsets.data(), paths_.offsets.size()},
-            {paths_.branches.data(), paths_.branches.size()}, ids_) {}
+            {paths_.branches.data(), paths_.branches.size()}, ids_) {
+  mem_soa_.reset("overlay.soa", telemetry::vector_bytes(ids_) +
+                                    telemetry::vector_bytes(attach_));
+  mem_paths_.reset("hierarchy.path_pool", paths_.memory_bytes());
+  mem_tree_.reset("hierarchy.domain_tree", tree_.memory_bytes());
+}
 
 OverlayNetwork::Soa OverlayNetwork::soa_from_nodes(
     const std::vector<OverlayNode>& nodes) {

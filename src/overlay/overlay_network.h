@@ -25,6 +25,7 @@
 #include "common/ids.h"
 #include "hierarchy/domain_path.h"
 #include "hierarchy/domain_tree.h"
+#include "telemetry/mem_stats.h"
 
 namespace canon {
 
@@ -161,6 +162,11 @@ class OverlayNetwork {
   DomainPathPool paths_;              // packed, index-aligned with ids_
   std::vector<std::int32_t> attach_;  // index-aligned, or empty
   DomainTree tree_;
+  // Ledger holdings for the three metadata stores (no-ops when no memory
+  // accountant is installed; see telemetry/mem_stats.h).
+  telemetry::MemCharge mem_soa_;
+  telemetry::MemCharge mem_paths_;
+  telemetry::MemCharge mem_tree_;
 };
 
 }  // namespace canon

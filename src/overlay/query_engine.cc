@@ -4,6 +4,7 @@
 
 #include "common/parallel.h"
 #include "common/zipf.h"
+#include "telemetry/mem_stats.h"
 
 namespace canon {
 
@@ -111,6 +112,12 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
   std::vector<QueryStats> per_shard(shards);
   std::vector<telemetry::LoadAccountant::Shard> load_shards(load_ ? shards
                                                                   : 0);
+  // Per-shard scratch footprint, recorded by the worker that ran the
+  // shard (the shard's routes alone determine the final capacity) and
+  // charged to the memory accountant on the calling thread after the
+  // barrier, in fixed shard order.
+  std::vector<std::uint64_t> scratch_bytes(
+      telemetry::mem_accountant() ? shards : 0);
   const auto run_shard = [&](std::size_t s) {
     QueryStats& stats = per_shard[s];
     telemetry::LoadAccountant::Shard* load_shard =
@@ -137,6 +144,9 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
       }
       if (per_query) (*per_query)[i] = p;
     }
+    if (!scratch_bytes.empty()) {
+      scratch_bytes[s] = telemetry::vector_bytes(scratch.path);
+    }
   };
 
   if (sink_) {
@@ -155,6 +165,15 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
   for (const QueryStats& s : per_shard) out.merge(s);
   if (load_) {
     for (const auto& s : load_shards) load_->merge(s);
+  }
+  if (!scratch_bytes.empty()) {
+    // Charge every shard's scratch together, then release: the tag's peak
+    // records the concurrency-equivalent footprint (all shards resident at
+    // once), which is what the figure would be at maximum parallelism —
+    // and is a pure function of the shard partition, so byte-identical at
+    // any --threads.
+    telemetry::MemScope scope("query.scratch");
+    for (const std::uint64_t bytes : scratch_bytes) scope.add(bytes);
   }
   flush_batch_counters(out);
   return out;

@@ -1,0 +1,137 @@
+#include "telemetry/flame_export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace canon::telemetry {
+
+std::vector<FlameNode> build_flame_tree(std::vector<SpanRecord> spans) {
+  // Sort by start ascending; on equal starts the longer span first, so a
+  // parent that opened in the same microsecond tick precedes its child.
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.name < b.name;
+            });
+
+  std::vector<FlameNode> tree;
+  tree.reserve(spans.size());
+  // Stack of indices of the open enclosing spans, innermost last.
+  std::vector<int> open;
+  for (SpanRecord& s : spans) {
+    // Pop spans that ended before this one starts. A tiny tolerance
+    // absorbs clock rounding: a child whose recorded end exceeds the
+    // parent's by < 1µs still nests.
+    while (!open.empty()) {
+      const SpanRecord& top = tree[static_cast<std::size_t>(open.back())].span;
+      if (s.ts_us + 1e-3 < top.ts_us + top.dur_us) break;
+      open.pop_back();
+    }
+    FlameNode node;
+    node.span = std::move(s);
+    node.parent = open.empty() ? -1 : open.back();
+    const int idx = static_cast<int>(tree.size());
+    if (node.parent >= 0) {
+      tree[static_cast<std::size_t>(node.parent)].children.push_back(idx);
+    }
+    tree.push_back(std::move(node));
+    open.push_back(idx);
+  }
+
+  for (FlameNode& node : tree) {
+    double children_us = 0;
+    for (int c : node.children) {
+      children_us += tree[static_cast<std::size_t>(c)].span.dur_us;
+    }
+    node.self_us = std::max(0.0, node.span.dur_us - children_us);
+  }
+  return tree;
+}
+
+std::string collapse_flame_tree(const std::vector<FlameNode>& tree) {
+  // Aggregate identical paths (repeated phases — per-shard spans, retries)
+  // into one line with summed self time, keeping first-occurrence order.
+  std::vector<std::string> order;
+  std::map<std::string, double, std::less<>> by_path;
+  std::vector<const std::string*> path;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree[i].self_us <= 0) continue;
+    path.clear();
+    for (int at = static_cast<int>(i); at >= 0;
+         at = tree[static_cast<std::size_t>(at)].parent) {
+      path.push_back(&tree[static_cast<std::size_t>(at)].span.name);
+    }
+    std::string key;
+    for (std::size_t p = path.size(); p-- > 0;) {
+      key += *path[p];
+      if (p != 0) key += ';';
+    }
+    auto [it, inserted] = by_path.try_emplace(std::move(key), 0.0);
+    if (inserted) order.push_back(it->first);
+    it->second += tree[i].self_us;
+  }
+  std::ostringstream out;
+  for (const std::string& key : order) {
+    const auto count =
+        static_cast<std::uint64_t>(std::llround(by_path[key]));
+    if (count == 0) continue;
+    out << key << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+JsonValue flame_phase_table(const std::vector<FlameNode>& tree) {
+  struct Agg {
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double self_us = 0;
+  };
+  std::map<std::string, Agg, std::less<>> by_name;
+  for (const FlameNode& node : tree) {
+    Agg& a = by_name[node.span.name];
+    ++a.count;
+    a.total_us += node.span.dur_us;
+    a.self_us += node.self_us;
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_us != b.second.self_us) {
+      return a.second.self_us > b.second.self_us;
+    }
+    return a.first < b.first;
+  });
+  JsonValue table = JsonValue::array();
+  for (const auto& [name, a] : rows) {
+    JsonValue row = JsonValue::object();
+    row.set("name", JsonValue(name));
+    row.set("count", JsonValue(a.count));
+    row.set("total_us", JsonValue(a.total_us));
+    row.set("self_us", JsonValue(a.self_us));
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::size_t write_collapsed_stacks(const SpanLog& log,
+                                   const std::string& path) {
+  const std::vector<FlameNode> tree = build_flame_tree(log.snapshot());
+  const std::string text = collapse_flame_tree(tree);
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("flame_export: cannot open " + path);
+  }
+  out << text;
+  if (!out) {
+    throw std::runtime_error("flame_export: write failed for " + path);
+  }
+  return static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n'));
+}
+
+}  // namespace canon::telemetry

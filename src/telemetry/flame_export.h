@@ -1,0 +1,66 @@
+// Collapsed-stack (FlameGraph / speedscope) export of ScopedTimer spans.
+//
+// The SpanLog records flat (name, start, duration) intervals; phases nest
+// lexically (a ScopedTimer opened inside another's lifetime), so the call
+// tree can be reconstructed by interval containment: sort spans by start
+// time (duration descending on ties) and make each span a child of the
+// innermost earlier span that still covers it. From that tree the exporter
+// emits
+//
+//   * the FlameGraph collapsed format — one line per tree path,
+//     "root;child;grandchild <self_us>", self time = the span's duration
+//     minus its direct children's, in integer microseconds. flamegraph.pl
+//     and speedscope both ingest this directly;
+//   * a self-time-per-phase table (JSON array) aggregating every span
+//     name: {name, count, total_us, self_us} sorted by self time
+//     descending — the "where did the wall clock actually go" summary
+//     that a nested trace makes hard to eyeball.
+//
+// Wall-clock durations are machine-dependent, so flame output is a
+// profiling artifact, not a determinism-checked report section (the
+// schema checker strips it the way it strips real_time).
+//
+// Surfaced as `canon_doctor --resource-report --flame-out=<path>` and by
+// examples/soak next to its Chrome trace (docs/TELEMETRY.md §10).
+#ifndef CANON_TELEMETRY_FLAME_EXPORT_H
+#define CANON_TELEMETRY_FLAME_EXPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_writer.h"
+#include "telemetry/scoped_timer.h"
+
+namespace canon::telemetry {
+
+/// One node of the reconstructed call tree (indices into the flat vector;
+/// -1 parent = root-level span).
+struct FlameNode {
+  SpanRecord span;
+  int parent = -1;
+  std::vector<int> children;
+  double self_us = 0;  ///< dur_us minus direct children's dur_us, >= 0
+};
+
+/// Reconstructs the call tree from a flat span list by interval
+/// containment (see the file comment). Input order does not matter.
+std::vector<FlameNode> build_flame_tree(std::vector<SpanRecord> spans);
+
+/// The collapsed-stack text: one "a;b;c <self_us>" line per distinct tree
+/// path with nonzero integer self time (repeated paths — per-shard spans —
+/// sum), in deterministic first-occurrence order.
+std::string collapse_flame_tree(const std::vector<FlameNode>& tree);
+
+/// Aggregated per-name table: [{name, count, total_us, self_us}, ...]
+/// sorted by self_us descending, name ascending on ties.
+JsonValue flame_phase_table(const std::vector<FlameNode>& tree);
+
+/// Convenience: tree + collapse + write to `path` (throws
+/// std::runtime_error on I/O failure). Returns the number of lines.
+std::size_t write_collapsed_stacks(const SpanLog& log,
+                                   const std::string& path);
+
+}  // namespace canon::telemetry
+
+#endif  // CANON_TELEMETRY_FLAME_EXPORT_H

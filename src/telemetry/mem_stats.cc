@@ -1,0 +1,125 @@
+#include "telemetry/mem_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace canon::telemetry {
+
+namespace {
+MemoryAccountant* g_accountant = nullptr;
+}  // namespace
+
+MemoryAccountant* mem_accountant() { return g_accountant; }
+
+MemoryAccountant* install_mem_accountant(MemoryAccountant* a) {
+  MemoryAccountant* prev = g_accountant;
+  g_accountant = a;
+  return prev;
+}
+
+void MemoryAccountant::account(std::string_view tag, std::uint64_t bytes) {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) {
+    it = tags_.emplace(std::string(tag), TagStats{}).first;
+  }
+  TagStats& t = it->second;
+  t.current += bytes;
+  if (t.current > t.peak) t.peak = t.current;
+  ++t.charges;
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void MemoryAccountant::release(std::string_view tag, std::uint64_t bytes) {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return;
+  TagStats& t = it->second;
+  const std::uint64_t drop = bytes < t.current ? bytes : t.current;
+  t.current -= drop;
+  current_ -= drop < current_ ? drop : current_;
+}
+
+void MemoryAccountant::clear() {
+  tags_.clear();
+  current_ = 0;
+  peak_ = 0;
+}
+
+JsonValue MemoryAccountant::to_json() const {
+  JsonValue doc = JsonValue::object();
+  JsonValue attributed = JsonValue::object();
+  attributed.set("current_bytes", JsonValue(current_));
+  attributed.set("peak_bytes", JsonValue(peak_));
+  doc.set("attributed", std::move(attributed));
+  JsonValue tags = JsonValue::object();
+  for (const auto& [name, t] : tags_) {
+    JsonValue o = JsonValue::object();
+    o.set("current_bytes", JsonValue(t.current));
+    o.set("peak_bytes", JsonValue(t.peak));
+    o.set("charges", JsonValue(t.charges));
+    tags.set(name, std::move(o));
+  }
+  doc.set("tags", std::move(tags));
+  return doc;
+}
+
+namespace {
+
+// Reads "VmRSS:  <n> kB" from /proc/self/status. Returns kB, or -1.
+long read_vmrss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      if (std::sscanf(line + 6, "%ld", &kb) != 1) kb = -1;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+// Resident pages from /proc/self/statm (second field). Returns kB, or -1.
+long read_statm_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return -1;
+  long size_pages = 0, resident_pages = 0;
+  const int got = std::fscanf(f, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return -1;
+  long page_kb = 4;
+#ifdef __unix__
+  const long page_bytes = sysconf(_SC_PAGESIZE);
+  if (page_bytes > 0) page_kb = page_bytes / 1024;
+#endif
+  return resident_pages * page_kb;
+}
+
+}  // namespace
+
+double peak_rss_mb() {
+#ifdef __unix__
+  struct rusage u;
+  if (getrusage(RUSAGE_SELF, &u) == 0) {
+    // ru_maxrss is KB on Linux, bytes on macOS; this project targets Linux.
+    return static_cast<double>(u.ru_maxrss) / 1024.0;
+  }
+#endif
+  return 0;
+}
+
+double current_rss_mb() {
+  long kb = read_vmrss_kb();
+  if (kb < 0) kb = read_statm_kb();
+  if (kb >= 0) return static_cast<double>(kb) / 1024.0;
+  return peak_rss_mb();
+}
+
+}  // namespace canon::telemetry

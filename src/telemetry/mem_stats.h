@@ -1,0 +1,217 @@
+// Per-subsystem memory attribution: the resource observatory's ledger.
+//
+// A MemoryAccountant tallies explicit byte charges under subsystem tags
+// ("link_table.csr", "hierarchy.path_pool", "query.scratch", ...) and
+// tracks, per tag and for the process, the current outstanding bytes and
+// the high-water peak. Unlike the process-wide getrusage high-water mark,
+// the ledger answers *which structure owns the bytes* — the prerequisite
+// for attacking 10^7-node populations (see docs/TELEMETRY.md §10 and the
+// reconciliation walkthrough in docs/PERFORMANCE.md).
+//
+// Like the metrics registry the accountant is opt-in: with none installed
+// (install_mem_accountant(nullptr), the default) every charge site pays a
+// single pointer test. Charging helpers:
+//
+//   - MemScope: RAII transient charge — charges on construction / add(),
+//     releases everything on destruction. For build-phase scratch whose
+//     lifetime is a lexical scope (LinkTable row staging, per-shard query
+//     scratch).
+//   - MemCharge: a member object for long-lived structures (CSR arrays,
+//     SoA metadata, latency matrices). Charges on reset(), transfers on
+//     move, re-charges on copy, releases on destruction.
+//
+// Determinism contract: the accountant is single-threaded like the rest
+// of the telemetry layer. Instrumented parallel phases charge only on the
+// calling thread at deterministic points — after the fork/join barrier, in
+// fixed shard order — and every figure in to_json() is a pure function of
+// the charge sequence, so a resource report is byte-identical at any
+// --threads (tests/resource_stats_test.cc pins {1,2,7}).
+//
+// The header also hosts the process RSS probes: current_rss_mb() (VmRSS
+// from /proc/self/status, with /proc/self/statm and getrusage fallbacks)
+// and peak_rss_mb() (getrusage high-water). Attributed bytes vs. measured
+// RSS growth reconcile to >= 90% at scale (tests/resource_stats_test.cc).
+#ifndef CANON_TELEMETRY_MEM_STATS_H
+#define CANON_TELEMETRY_MEM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json_writer.h"
+
+namespace canon::telemetry {
+
+/// See the file comment.
+class MemoryAccountant {
+ public:
+  struct TagStats {
+    std::uint64_t current = 0;  ///< outstanding bytes
+    std::uint64_t peak = 0;     ///< high-water outstanding bytes
+    std::uint64_t charges = 0;  ///< number of account() calls
+  };
+
+  /// Charges `bytes` against `tag`, raising the tag and process peaks.
+  void account(std::string_view tag, std::uint64_t bytes);
+
+  /// Releases `bytes` from `tag`. Over-release clamps to zero (a charge
+  /// site that outlives the accountant's install window must not corrupt
+  /// the ledger); peaks are never lowered.
+  void release(std::string_view tag, std::uint64_t bytes);
+
+  /// Process-wide outstanding / high-water bytes (sums over tags as of
+  /// each charge, so the process peak sees concurrent tags together).
+  std::uint64_t current_bytes() const { return current_; }
+  std::uint64_t peak_bytes() const { return peak_; }
+
+  /// Per-tag ledger, sorted by tag name (stable report ordering).
+  const std::map<std::string, TagStats, std::less<>>& tags() const {
+    return tags_;
+  }
+  bool empty() const { return tags_.empty(); }
+  void clear();
+
+  /// The "memory" report section (schema in docs/TELEMETRY.md §10):
+  /// {attributed{current_bytes,peak_bytes},
+  ///  tags{<tag>: {current_bytes,peak_bytes,charges}, ...}}.
+  /// Pure function of the charge sequence: byte-identical at any
+  /// --threads. Measured RSS is deliberately *not* part of this object —
+  /// callers append it separately so determinism checks can strip it.
+  JsonValue to_json() const;
+
+ private:
+  std::map<std::string, TagStats, std::less<>> tags_;
+  std::uint64_t current_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// The process-wide accountant, or nullptr when accounting is off (the
+/// default). install_mem_accountant(nullptr) turns accounting off again;
+/// the caller keeps ownership. Returns the previous accountant.
+MemoryAccountant* mem_accountant();
+MemoryAccountant* install_mem_accountant(MemoryAccountant* a);
+
+/// RAII transient charge: everything charged through this scope is
+/// released when it dies. No-op when no accountant is installed.
+class MemScope {
+ public:
+  /// `tag` must outlive the scope (every caller passes a literal).
+  explicit MemScope(std::string_view tag, std::uint64_t bytes = 0)
+      : tag_(tag) {
+    add(bytes);
+  }
+  MemScope(const MemScope&) = delete;
+  MemScope& operator=(const MemScope&) = delete;
+  ~MemScope() { release_all(); }
+
+  /// Charges `bytes` more against the scope's tag.
+  void add(std::uint64_t bytes) {
+    if (bytes == 0) return;
+    if (MemoryAccountant* a = mem_accountant()) {
+      a->account(tag_, bytes);
+      held_ += bytes;
+    }
+  }
+
+  /// Releases everything now (idempotent; the destructor then no-ops).
+  void release_all() {
+    if (held_ != 0) {
+      if (MemoryAccountant* a = mem_accountant()) a->release(tag_, held_);
+      held_ = 0;
+    }
+  }
+
+  std::uint64_t held() const { return held_; }
+
+ private:
+  std::string_view tag_;
+  std::uint64_t held_ = 0;
+};
+
+/// Long-lived charge held as a member of the owning structure. Default
+/// construction holds nothing; reset() charges the structure's current
+/// footprint (releasing any previous holding first). Move transfers the
+/// holding; copy re-charges the same bytes (the copy owns its own charge);
+/// destruction releases. All operations no-op when no accountant is
+/// installed at the time they run — a structure built before the
+/// accountant existed simply stays off the ledger.
+class MemCharge {
+ public:
+  MemCharge() = default;
+  MemCharge(std::string_view tag, std::uint64_t bytes) { reset(tag, bytes); }
+
+  MemCharge(const MemCharge& other) { reset(other.tag_, other.held_); }
+  MemCharge& operator=(const MemCharge& other) {
+    if (this != &other) reset(other.tag_, other.held_);
+    return *this;
+  }
+  MemCharge(MemCharge&& other) noexcept
+      : tag_(std::move(other.tag_)), held_(other.held_) {
+    other.held_ = 0;
+    other.tag_.clear();
+  }
+  MemCharge& operator=(MemCharge&& other) noexcept {
+    if (this != &other) {
+      drop();
+      tag_ = std::move(other.tag_);
+      held_ = other.held_;
+      other.held_ = 0;
+      other.tag_.clear();
+    }
+    return *this;
+  }
+  ~MemCharge() { drop(); }
+
+  /// Replaces the holding: releases the previous bytes, charges `bytes`
+  /// under `tag`. Holds nothing if no accountant is installed.
+  void reset(std::string_view tag, std::uint64_t bytes) {
+    drop();
+    if (bytes == 0) return;
+    if (MemoryAccountant* a = mem_accountant()) {
+      a->account(tag, bytes);
+      tag_ = tag;
+      held_ = bytes;
+    }
+  }
+
+  /// Releases the holding now.
+  void drop() {
+    if (held_ != 0) {
+      if (MemoryAccountant* a = mem_accountant()) a->release(tag_, held_);
+      held_ = 0;
+      tag_.clear();
+    }
+  }
+
+  std::uint64_t held() const { return held_; }
+
+ private:
+  std::string tag_;
+  std::uint64_t held_ = 0;
+};
+
+/// Allocated bytes of a vector's backing store (capacity, not size — the
+/// allocator really holds capacity() * sizeof(T)).
+template <class T, class A>
+std::uint64_t vector_bytes(const std::vector<T, A>& v) {
+  return static_cast<std::uint64_t>(v.capacity()) * sizeof(T);
+}
+
+// ---- process RSS probes ----
+
+/// Resident set size right now, in MB. Reads VmRSS from /proc/self/status,
+/// falling back to /proc/self/statm, then to the getrusage high-water mark
+/// (the best remaining signal on systems without procfs). Returns 0 when
+/// nothing is available.
+double current_rss_mb();
+
+/// Process high-water RSS in MB (getrusage ru_maxrss). Monotone over the
+/// process lifetime: a later, smaller working set does NOT lower it — pair
+/// with current_rss_mb() when a point-in-time figure is wanted.
+double peak_rss_mb();
+
+}  // namespace canon::telemetry
+
+#endif  // CANON_TELEMETRY_MEM_STATS_H

@@ -80,6 +80,8 @@ LandmarkLatency::LandmarkLatency(const TransitStubTopology& topo,
                    }
                  }
                });
+  mem_.reset("topology.landmark", telemetry::vector_bytes(ms_) +
+                                      telemetry::vector_bytes(landmarks_));
 }
 
 }  // namespace canon

@@ -87,6 +87,7 @@ class LandmarkLatency {
   std::unique_ptr<LatencyMatrix> exact_;  // exact mode only
   std::vector<int> landmarks_;            // landmark mode only
   std::vector<float> ms_;                 // k rows of n entries
+  telemetry::MemCharge mem_;  // "topology.landmark" ledger holding
 };
 
 }  // namespace canon

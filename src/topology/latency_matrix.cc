@@ -22,6 +22,7 @@ LatencyMatrix::LatencyMatrix(const TransitStubTopology& topo)
   telemetry::ScopedTimer timer("build.latency_matrix_ms");
   ms_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
              std::numeric_limits<float>::infinity());
+  mem_.reset("topology.latency_matrix", telemetry::vector_bytes(ms_));
   // One Dijkstra per source router; each shard owns its sources' rows of
   // ms_, so the sharded runs write disjoint ranges and need no locks.
   parallel_for(

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "telemetry/mem_stats.h"
 #include "topology/transit_stub.h"
 
 namespace canon {
@@ -37,6 +38,7 @@ class LatencyMatrix {
  private:
   int n_ = 0;
   std::vector<float> ms_;
+  telemetry::MemCharge mem_;  // "topology.latency_matrix" ledger holding
 };
 
 }  // namespace canon

@@ -19,9 +19,17 @@
 //                          trace-event JSON (construction-phase spans plus
 //                          a sampled per-hop lookup trace of the first
 //                          family) loadable in chrome://tracing or
-//                          ui.perfetto.dev. Exit 0 iff no structural
-//                          violations and every measured success rate
-//                          reaches --min-success.
+//                          ui.perfetto.dev. With --resource-report the run
+//                          installs the memory accountant and prints the
+//                          per-subsystem byte ledger (docs/TELEMETRY.md
+//                          §10), measured RSS, and a self-time-per-phase
+//                          wall-clock table; the ledger also lands under
+//                          metrics.memory in the JSON report. With
+//                          --flame-out=<path> construction-phase spans are
+//                          written as FlameGraph/speedscope collapsed
+//                          stacks. Exit 0 iff no structural violations and
+//                          every measured success rate reaches
+//                          --min-success.
 //   churn   (--churn=N)    Run N join/leave operations through
 //                          DynamicCrescendo, journaling every event to
 //                          --journal-out (JSONL) and appending an
@@ -64,8 +72,10 @@
 #include "overlay/family_registry.h"
 #include "overlay/population.h"
 #include "overlay/query_engine.h"
+#include "telemetry/flame_export.h"
 #include "telemetry/journal.h"
 #include "telemetry/load_stats.h"
+#include "telemetry/mem_stats.h"
 #include "telemetry/scoped_timer.h"
 #include "telemetry/trace.h"
 #include "telemetry/trace_export.h"
@@ -95,6 +105,8 @@ struct DoctorOptions {
   FaultOptions faults;
   std::string trace_out;     ///< Chrome/Perfetto trace path ("" = off)
   bool load_report = false;  ///< per-family load observatory tables
+  bool resource_report = false;  ///< per-subsystem memory ledger + phases
+  std::string flame_out;     ///< collapsed-stack profile path ("" = off)
 };
 
 void print_report(std::string_view name, const audit::AuditReport& report) {
@@ -276,6 +288,57 @@ int run_static(bench::BenchRun& run, const DoctorOptions& opt,
     run.report().add_row(std::move(row));
   }
   if (journal) journal->flush();
+  if (opt.resource_report) {
+    if (const telemetry::MemoryAccountant* acct = telemetry::mem_accountant()) {
+      std::printf("\nresource report (per-subsystem bytes):\n");
+      std::printf("  %-24s %14s %14s %8s\n", "tag", "current", "peak",
+                  "charges");
+      for (const auto& [tag, stats] : acct->tags()) {
+        std::printf("  %-24s %14llu %14llu %8llu\n", tag.c_str(),
+                    static_cast<unsigned long long>(stats.current),
+                    static_cast<unsigned long long>(stats.peak),
+                    static_cast<unsigned long long>(stats.charges));
+      }
+      std::printf("  %-24s %14llu %14llu\n", "total",
+                  static_cast<unsigned long long>(acct->current_bytes()),
+                  static_cast<unsigned long long>(acct->peak_bytes()));
+      std::printf("  measured RSS: %.1f MB current, %.1f MB peak "
+                  "(attributed %.1f MB)\n",
+                  telemetry::current_rss_mb(), telemetry::peak_rss_mb(),
+                  static_cast<double>(acct->current_bytes()) /
+                      (1024.0 * 1024.0));
+      telemetry::JsonValue mem = acct->to_json();
+      telemetry::JsonValue measured = telemetry::JsonValue::object();
+      measured.set("current_mb",
+                   telemetry::JsonValue(telemetry::current_rss_mb()));
+      measured.set("peak_mb", telemetry::JsonValue(telemetry::peak_rss_mb()));
+      mem.set("measured", std::move(measured));
+      run.report().set_metric("memory", std::move(mem));
+    }
+    if (const telemetry::SpanLog* spans = telemetry::span_log()) {
+      const auto tree = telemetry::build_flame_tree(spans->snapshot());
+      const telemetry::JsonValue phases = telemetry::flame_phase_table(tree);
+      std::printf("\nwall-clock by phase (self time):\n");
+      std::printf("  %-32s %6s %12s %12s\n", "phase", "count", "total ms",
+                  "self ms");
+      for (const telemetry::JsonValue& p : phases.items()) {
+        std::printf("  %-32s %6lld %12.2f %12.2f\n",
+                    p.get("name")->as_string().c_str(),
+                    static_cast<long long>(p.get("count")->as_int()),
+                    p.get("total_us")->as_double() / 1e3,
+                    p.get("self_us")->as_double() / 1e3);
+      }
+    }
+  }
+  if (!opt.flame_out.empty()) {
+    if (const telemetry::SpanLog* spans = telemetry::span_log()) {
+      const std::size_t lines =
+          telemetry::write_collapsed_stacks(*spans, opt.flame_out);
+      std::printf("\nflame: %zu collapsed stacks -> %s (load in speedscope "
+                  "or flamegraph.pl)\n",
+                  lines, opt.flame_out.c_str());
+    }
+  }
   if (!opt.trace_out.empty()) {
     telemetry::TraceExporter exporter;
     exporter.set_process_name(telemetry::TraceExporter::kBuildPid,
@@ -519,8 +582,22 @@ int main(int argc, char** argv) {
     if (run.present("load-report")) {
       opt.load_report = run.boolean("load-report", true);
     }
-    telemetry::SpanLog spans;  // construction-phase spans for --trace-out
-    if (!opt.trace_out.empty()) telemetry::install_span_log(&spans);
+    if (run.present("resource-report")) {
+      opt.resource_report = run.boolean("resource-report", true);
+    }
+    if (run.present("flame-out")) {
+      opt.flame_out = run.str("flame-out", "");
+    }
+    // Span capture feeds --trace-out, --flame-out, and the
+    // --resource-report phase table; the accountant feeds the byte ledger.
+    // Both are gated on present() so default reports stay byte-identical.
+    telemetry::SpanLog spans;
+    if (!opt.trace_out.empty() || !opt.flame_out.empty() ||
+        opt.resource_report) {
+      telemetry::install_span_log(&spans);
+    }
+    telemetry::MemoryAccountant accountant;
+    if (opt.resource_report) telemetry::install_mem_accountant(&accountant);
 
     run.header("canon_doctor: structural health report",
                "invariants of Sections 2.1, 2.3, 3.4 (audit battery)");
