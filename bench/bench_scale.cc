@@ -21,7 +21,13 @@
 //   current_rss_mb   point-in-time RSS after the row (VmRSS) — the pair
 //                    makes each row self-describing; no read-order caveat
 //   links            total directed links
-//   lookups_per_sec  probe-mode batch throughput
+//   lookups_per_sec  probe-mode throughput through the interleaved batch
+//                    kernel (the configured --batch-width)
+//   scalar_lookups_per_sec  the same workload through the scalar per-query
+//                    probe loop (batch width 0) — the MLP baseline
+//   batch_speedup    lookups_per_sec / scalar_lookups_per_sec (the row
+//                    self-checks that both runs produced bit-identical
+//                    stats before reporting either)
 //   mean_hops        mean hop count over OK lookups
 //
 // Crescendo row names are "crescendo/<n>"; sizes quadruple from
@@ -99,6 +105,54 @@ void emit_memory_report(bench::BenchRun& run, const std::string& row_name,
   }
 }
 
+/// One row's lookup phase, run twice over the same workload: first the
+/// scalar per-query probe loop (batch width forced to 0 — the
+/// memory-level-parallelism baseline), then the interleaved batch kernel
+/// at the configured --batch-width. The two runs must produce
+/// bit-identical stats (the kernels change when memory is touched, never
+/// which neighbor wins); their wall clocks become the row's
+/// scalar/batch throughput columns.
+struct QueryPhase {
+  QueryStats stats;
+  double lookups_per_sec = 0;         // batch kernel throughput
+  double scalar_lookups_per_sec = 0;  // width-0 reference loop
+  double batch_speedup = 0;
+};
+
+bool run_query_phase(const QueryEngine& engine, const RingRouter& router,
+                     const std::vector<Query>& queries,
+                     RssTimeline& timeline, QueryPhase& out) {
+  const std::size_t lookups = queries.size();
+  const int width = probe_batch_width();
+
+  set_probe_batch_width(0);
+  auto start = std::chrono::steady_clock::now();
+  const QueryStats scalar_stats = engine.run(queries, router);
+  const double scalar_s = seconds_since(start);
+  set_probe_batch_width(width);
+  timeline.sample();
+
+  start = std::chrono::steady_clock::now();
+  out.stats = engine.run(queries, router);
+  const double batch_s = seconds_since(start);
+  timeline.sample();
+
+  if (out.stats.queries != scalar_stats.queries ||
+      out.stats.failures != scalar_stats.failures ||
+      out.stats.total_hops != scalar_stats.total_hops ||
+      out.stats.hops.count() != scalar_stats.hops.count() ||
+      out.stats.hops.mean() != scalar_stats.hops.mean()) {
+    std::cerr << "batch kernel diverged from the scalar probe loop\n";
+    return false;
+  }
+  out.lookups_per_sec =
+      batch_s > 0 ? static_cast<double>(lookups) / batch_s : 0.0;
+  out.scalar_lookups_per_sec =
+      scalar_s > 0 ? static_cast<double>(lookups) / scalar_s : 0.0;
+  out.batch_speedup = batch_s > 0 ? scalar_s / batch_s : 0.0;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,7 +173,8 @@ int main(int argc, char** argv) {
   telemetry::JsonValue memory_section = telemetry::JsonValue::object();
 
   TextTable table({"row", "pop s", "build s", "RSS MB (peak/now)",
-                   "attributed MB", "links", "Mlookups/s", "mean hops"});
+                   "attributed MB", "links", "Mlookups/s", "speedup",
+                   "mean hops"});
 
   for (std::uint64_t n = min_n; n <= max_n; n *= 4) {
     telemetry::MemoryAccountant acct;
@@ -145,16 +200,13 @@ int main(int argc, char** argv) {
     const RingRouter router(net, links);
     QueryEngine engine(net);
     const auto queries = uniform_workload(net, lookups, Rng(run.seed));
-    start = std::chrono::steady_clock::now();
-    const QueryStats stats = engine.run(queries, router);
-    const double query_s = seconds_since(start);
-    timeline.sample();
+    QueryPhase q;
+    if (!run_query_phase(engine, router, queries, timeline, q)) return 1;
+    const QueryStats& stats = q.stats;
     if (stats.failures != 0) {
       std::cerr << "routing failure (broken structure)\n";
       return 1;
     }
-    const double lookups_per_sec =
-        query_s > 0 ? static_cast<double>(lookups) / query_s : 0.0;
     const double peak_mb = bench::peak_rss_mb();
     const double now_mb = bench::current_rss_mb();
     const double attributed_mb =
@@ -167,7 +219,8 @@ int main(int argc, char** argv) {
                        TextTable::num(now_mb, 0),
                    TextTable::num(attributed_mb, 0),
                    TextTable::num(links.total_links()),
-                   TextTable::num(lookups_per_sec / 1e6, 2),
+                   TextTable::num(q.lookups_per_sec / 1e6, 2),
+                   TextTable::num(q.batch_speedup, 2),
                    TextTable::num(stats.hops.mean(), 2)});
     if (run.json_enabled()) {
       run.metrics().gauge("build.peak_rss_mb").set(peak_mb);
@@ -183,7 +236,10 @@ int main(int argc, char** argv) {
       row.set("current_rss_mb", telemetry::JsonValue(now_mb));
       row.set("links", telemetry::JsonValue(links.total_links()));
       row.set("lookups", telemetry::JsonValue(lookups));
-      row.set("lookups_per_sec", telemetry::JsonValue(lookups_per_sec));
+      row.set("lookups_per_sec", telemetry::JsonValue(q.lookups_per_sec));
+      row.set("scalar_lookups_per_sec",
+              telemetry::JsonValue(q.scalar_lookups_per_sec));
+      row.set("batch_speedup", telemetry::JsonValue(q.batch_speedup));
       row.set("mean_hops", telemetry::JsonValue(stats.hops.mean()));
       run.report().add_row(std::move(row));
 
@@ -237,16 +293,13 @@ int main(int argc, char** argv) {
     const RingRouter router(net, links);
     QueryEngine engine(net);
     const auto queries = uniform_workload(net, lookups, Rng(run.seed));
-    start = std::chrono::steady_clock::now();
-    const QueryStats stats = engine.run(queries, router);
-    const double query_s = seconds_since(start);
-    timeline.sample();
+    QueryPhase q;
+    if (!run_query_phase(engine, router, queries, timeline, q)) return 1;
+    const QueryStats& stats = q.stats;
     if (stats.failures != 0) {
       std::cerr << "routing failure (broken structure)\n";
       return 1;
     }
-    const double lookups_per_sec =
-        query_s > 0 ? static_cast<double>(lookups) / query_s : 0.0;
     const double peak_mb = bench::peak_rss_mb();
     const double now_mb = bench::current_rss_mb();
     const double attributed_mb =
@@ -264,7 +317,8 @@ int main(int argc, char** argv) {
                        TextTable::num(now_mb, 0),
                    TextTable::num(attributed_mb, 0),
                    TextTable::num(links.total_links()),
-                   TextTable::num(lookups_per_sec / 1e6, 2),
+                   TextTable::num(q.lookups_per_sec / 1e6, 2),
+                   TextTable::num(q.batch_speedup, 2),
                    TextTable::num(stats.hops.mean(), 2)});
     if (run.json_enabled()) {
       telemetry::JsonValue row = telemetry::JsonValue::object();
@@ -283,7 +337,10 @@ int main(int argc, char** argv) {
       row.set("current_rss_mb", telemetry::JsonValue(now_mb));
       row.set("links", telemetry::JsonValue(links.total_links()));
       row.set("lookups", telemetry::JsonValue(lookups));
-      row.set("lookups_per_sec", telemetry::JsonValue(lookups_per_sec));
+      row.set("lookups_per_sec", telemetry::JsonValue(q.lookups_per_sec));
+      row.set("scalar_lookups_per_sec",
+              telemetry::JsonValue(q.scalar_lookups_per_sec));
+      row.set("batch_speedup", telemetry::JsonValue(q.batch_speedup));
       row.set("mean_hops", telemetry::JsonValue(stats.hops.mean()));
       run.report().add_row(std::move(row));
 

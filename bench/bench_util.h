@@ -35,6 +35,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "overlay/population.h"
+#include "overlay/query_engine.h"
+#include "overlay/routing.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/mem_stats.h"
 #include "telemetry/metrics.h"
@@ -118,6 +120,21 @@ class BenchRun {
     record("threads", std::to_string(parallel_threads()),
            telemetry::JsonValue(
                static_cast<std::int64_t>(parallel_threads())));
+    // Batch-engine knobs, same contract as --threads: figures are
+    // byte-identical at every --batch-width, and at every --grain up to
+    // float-summation order (see query_grain() in overlay/query_engine.h).
+    // check_json_schema.py strips both from compared reports.
+    set_query_grain(
+        static_cast<std::size_t>(flag_u64(argc, argv, "grain", 0)));
+    record("grain", std::to_string(query_grain()),
+           telemetry::JsonValue(
+               static_cast<std::uint64_t>(query_grain())));
+    set_probe_batch_width(static_cast<int>(flag_u64(
+        argc, argv, "batch-width",
+        static_cast<std::uint64_t>(kDefaultProbeBatchWidth))));
+    record("batch_width", std::to_string(probe_batch_width()),
+           telemetry::JsonValue(
+               static_cast<std::int64_t>(probe_batch_width())));
   }
 
   BenchRun(const BenchRun&) = delete;

@@ -15,7 +15,12 @@ Five modes:
     asserts the two --json reports are identical after stripping the
     wall-clock-dependent fields (params.threads, metrics.gauges,
     metrics.histograms): the batch QueryEngine / parallel construction
-    determinism contract (docs/PERFORMANCE.md).
+    determinism contract (docs/PERFORMANCE.md). An optional
+    --widths=W1,W2,... arg widens the matrix to {threads} x {widths},
+    running each combination with --batch-width=W and asserting every
+    stripped report byte-identical — the memory-level-parallel routing
+    contract (the interleaved kernels change when memory is touched,
+    never which neighbor wins).
 
   check_json_schema.py --doctor <canon_doctor_binary>
     Runs canon_doctor in static (--all) and churn (--journal-out) modes
@@ -381,9 +386,14 @@ def check_scale(binary):
     for row in rows:
         for key in ("name", "nodes", "real_time", "build_s", "pop_s",
                     "peak_rss_mb", "current_rss_mb", "links", "lookups",
-                    "lookups_per_sec", "mean_hops"):
+                    "lookups_per_sec", "mean_hops", "scalar_lookups_per_sec",
+                    "batch_speedup"):
             assert key in row, f"scale row missing {key!r}"
         assert row["real_time"] > 0 and row["build_s"] > 0, row
+        # Batch-probe column: both throughput flavors positive (the bench
+        # itself asserts batch stats == scalar stats before reporting).
+        assert row["scalar_lookups_per_sec"] > 0, row
+        assert row["batch_speedup"] > 0, row
         assert row["links"] > row["nodes"], (
             f"{row['nodes']} nodes carry only {row['links']} links")
         assert row["lookups_per_sec"] > 0, row
@@ -399,7 +409,9 @@ def check_scale(binary):
     assert landmark["landmarks"] > 0, landmark
     assert landmark["latency_build_s"] >= 0, landmark
     counters = doc["metrics"]["counters"]
-    assert counters["query_engine.queries"] == 3 * 2000
+    # Each of the 3 rows runs its 2000-lookup workload twice: once through
+    # the scalar probe loop, once through the batch kernel.
+    assert counters["query_engine.queries"] == 2 * 3 * 2000
     assert counters["query_engine.failures"] == 0
 
 
@@ -477,12 +489,16 @@ def check_resources(binary):
 
 SCALE_WALL_CLOCK_FIELDS = ("real_time", "build_s", "pop_s", "peak_rss_mb",
                            "current_rss_mb", "latency_build_s",
-                           "lookups_per_sec")
+                           "lookups_per_sec", "scalar_lookups_per_sec",
+                           "batch_speedup")
 
 
 def strip_timing(doc):
-    """Removes the only report fields allowed to vary with --threads."""
+    """Removes the only report fields allowed to vary with --threads (or
+    with the batch-engine knobs --batch-width / --grain)."""
     doc["params"].pop("threads", None)
+    doc["params"].pop("grain", None)
+    doc["params"].pop("batch_width", None)
     doc["metrics"].pop("gauges", None)
     doc["metrics"].pop("histograms", None)
     if doc.get("bench") == "bench_scale":
@@ -504,18 +520,33 @@ def strip_timing(doc):
 
 
 def check_threads_invariant(binary, extra_args):
+    # --widths=1,8,16 widens the matrix: every (threads, batch width)
+    # combination must produce the same stripped report.
+    widths = [None]
+    args = []
+    for a in extra_args:
+        if a.startswith("--widths="):
+            widths = [int(w) for w in a.split("=", 1)[1].split(",")]
+        else:
+            args.append(a)
     docs = []
     with tempfile.TemporaryDirectory() as tmp:
         for threads in (1, 8):
-            out = os.path.join(tmp, f"t{threads}.json")
-            subprocess.run(
-                [binary, *extra_args, f"--threads={threads}",
-                 f"--json={out}"],
-                check=True, stdout=subprocess.DEVNULL)
-            with open(out) as f:
-                docs.append(strip_timing(json.load(f)))
-    assert docs[0] == docs[1], (
-        "report differs between --threads=1 and --threads=8")
+            for width in widths:
+                label = f"t{threads}" if width is None else (
+                    f"t{threads}_w{width}")
+                out = os.path.join(tmp, f"{label}.json")
+                cmd = [binary, *args, f"--threads={threads}"]
+                if width is not None:
+                    cmd.append(f"--batch-width={width}")
+                subprocess.run(cmd + [f"--json={out}"],
+                               check=True, stdout=subprocess.DEVNULL)
+                with open(out) as f:
+                    docs.append((label, strip_timing(json.load(f))))
+    base_label, base = docs[0]
+    for label, doc in docs[1:]:
+        assert doc == base, (
+            f"report differs between {base_label} and {label}")
 
 
 def main():

@@ -6,8 +6,16 @@
 // (cycled through a power-of-two array), so BM_Route* measures routing
 // only — not RNG draws. The BM_Batch* benchmarks route the whole workload
 // per iteration through the QueryEngine; pass --threads=N to fan the batch
-// across the pool (items/sec is the headline number).
+// across the pool (items/sec is the headline number). BM_ProbeBatch* /
+// BM_ProbeScalar* isolate the interleaved memory-level-parallel probe
+// kernel against its scalar loop on a shared (cached) fixture, up to a
+// DRAM-resident 2^20 nodes.
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/micro_util.h"
@@ -104,6 +112,63 @@ void BM_RouteKandy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouteKandy)->Arg(8192);
+
+/// Shared population+links fixture for the probe-kernel benchmarks,
+/// streamed-built (byte-identical to build_crescendo) so the 2^20 entry
+/// stays inside the bench's memory budget, and cached across re-entries —
+/// google-benchmark re-runs a benchmark function while estimating
+/// iteration counts, and a 2^20 build is far too expensive to repeat.
+const std::pair<OverlayNetwork, LinkTable>& probe_fixture(std::size_t n) {
+  static std::map<std::size_t,
+                  std::unique_ptr<std::pair<OverlayNetwork, LinkTable>>>
+      cache;
+  auto& slot = cache[n];
+  if (!slot) {
+    auto net = bench::bench_population(n, 4);
+    auto links = build_crescendo_streamed(net);
+    slot = std::make_unique<std::pair<OverlayNetwork, LinkTable>>(
+        std::move(net), std::move(links));
+  }
+  return *slot;
+}
+
+/// The interleaved batch probe kernel (RingRouter::probe_batch at the
+/// configured --batch-width) over the whole pre-generated workload per
+/// iteration. 2^20 is deliberately DRAM-resident — the CSR row loads miss
+/// every cache level, which is exactly where the group-prefetch window
+/// earns its speedup over BM_ProbeScalarCrescendo.
+void BM_ProbeBatchCrescendo(benchmark::State& state) {
+  const auto& [net, links] =
+      probe_fixture(static_cast<std::size_t>(state.range(0)));
+  const RingRouter router(net, links);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  std::vector<RouteProbe> out(queries.size());
+  for (auto _ : state) {
+    router.probe_batch(queries, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWorkload));
+}
+BENCHMARK(BM_ProbeBatchCrescendo)->Arg(8192)->Arg(1 << 20);
+
+/// The scalar per-call probe loop over the same fixture and workload —
+/// the baseline BM_ProbeBatchCrescendo's speedup is measured against
+/// (same build path, same cycling, only the kernel differs).
+void BM_ProbeScalarCrescendo(benchmark::State& state) {
+  const auto& [net, links] =
+      probe_fixture(static_cast<std::size_t>(state.range(0)));
+  const RingRouter router(net, links);
+  const auto queries = uniform_workload(net, kWorkload, Rng(11));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Query& q = queries[i++ & kMask];
+    benchmark::DoNotOptimize(router.probe(q.from, q.key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeScalarCrescendo)->Arg(8192)->Arg(1 << 20);
 
 /// Whole-workload batch through the QueryEngine in probe mode (the
 /// engine's fastest path: no path storage at all). One iteration routes

@@ -54,6 +54,15 @@ class CanCanNetwork {
 /// concurrent route() calls on one const router (batch QueryEngine fan-out)
 /// stay race-free; they are diagnostics, not part of the deterministic
 /// per-query results.
+///
+/// Ordering contract: every access — the fetch_add on the hot scan and
+/// the reads above — uses memory_order_relaxed. The counters are
+/// merge-only tallies: no other memory is published through them, readers
+/// want a sum, not a synchronization point, and the QueryEngine's shard
+/// barrier (parallel_for join) already sequences "batch finished" before
+/// any caller reads the totals. Relaxed keeps the per-hop increment a
+/// plain locked add with no fence on the scan path; do not "upgrade"
+/// these to acquire/release — there is nothing to acquire.
 class CanCanRouter {
  public:
   explicit CanCanRouter(const CanCanNetwork& network);

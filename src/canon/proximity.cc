@@ -6,7 +6,9 @@
 #include <stdexcept>
 
 #include "common/parallel.h"
+#include "common/prefetch.h"
 #include "dht/chord.h"
+#include "overlay/batch_probe.h"
 
 namespace canon {
 
@@ -293,6 +295,111 @@ struct GroupPathRecorder {
   void operator()(std::uint32_t node) const { path->push_back(node); }
 };
 
+// Lane state + hooks of the interleaved group batch kernel, driven by
+// detail::interleaved_probe_batch (overlay/batch_probe.h). The lane
+// carries cur_id forward from the winning scan entry (target_ids_[k] is
+// ids[targets_[k]] by CSR construction) and derives every group ID from
+// it via gid_of_key — gid_of_node(m) == gid_of_key(net.id(m)) — so the
+// steady-state hop reads only the prefetched CSR row. The scan body is
+// group_core's loop verbatim, with indices tracked instead of nodes.
+struct GroupStepper {
+  const OverlayNetwork& net;
+  const GroupedOverlay& groups;
+  const LinkTable& links;
+  std::uint64_t mask;  // ID-space mask (ring_distance on raw NodeIds)
+  int max_hops;
+
+  struct Lane {
+    std::size_t query_index;
+    std::uint32_t current;
+    NodeId cur_id;
+    NodeId key;
+    std::uint32_t target;
+    NodeId target_gid;
+    int hops;
+    LinkOffset row_begin;
+    LinkOffset row_end;
+    bool need_id;
+  };
+
+  void begin(Lane& l, const Query& q, std::size_t query_index) const {
+    l.query_index = query_index;
+    l.current = q.from;
+    l.key = q.key;
+    l.hops = 0;
+    l.need_id = true;
+    // The same up-front responsibility lookups group_core performs once
+    // per query.
+    const int target_group = groups.responsible_group(q.key);
+    l.target_gid = groups.groups()[static_cast<std::size_t>(target_group)].gid;
+    l.target = groups.responsible(q.key);
+    prefetch_ro(net.ids().data() + q.from);
+    links.prefetch_row_bounds(q.from);
+  }
+
+  void fetch(Lane& l) const {
+    if (l.need_id) {
+      l.cur_id = net.id(l.current);
+      l.need_id = false;
+    }
+    const auto [b, e] = links.row_bounds(l.current);
+    l.row_begin = b;
+    l.row_end = e;
+    links.prefetch_row_payload(b, e);
+  }
+
+  bool advance(Lane& l, RouteProbe& out) const {
+    if (l.hops >= max_hops) {  // group_core's hop-guard exhaustion
+      out = {l.current, l.hops, false};
+      return true;
+    }
+    if (l.current == l.target) {
+      out = {l.current, l.hops, true};
+      return true;
+    }
+    const NodeId cur_gid = groups.gid_of_key(l.cur_id);
+    if (cur_gid == l.target_gid) {
+      // Final intra-group hop over the dense group network.
+      if (links.has_link(l.current, l.target)) {
+        out = {l.target, l.hops + 1, true};
+      } else {
+        out = {l.current, l.hops, false};
+      }
+      return true;
+    }
+    const std::uint64_t remaining_groups =
+        groups.group_distance(cur_gid, l.target_gid);
+    const std::uint64_t remaining_ids = (l.key - l.cur_id) & mask;
+    const NodeId* ids = links.target_ids_data() + l.row_begin;
+    const std::size_t count = l.row_end - l.row_begin;
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::size_t best_j = kNone;
+    std::uint64_t best_gcov = 0;
+    std::uint64_t best_icov = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::uint64_t gcov =
+          groups.group_distance(cur_gid, groups.gid_of_key(ids[j]));
+      if (gcov > remaining_groups) continue;  // overshoots the target group
+      const std::uint64_t icov = (ids[j] - l.cur_id) & mask;
+      if (gcov == 0 && icov > remaining_ids) continue;
+      if (gcov > best_gcov || (gcov == best_gcov && icov > best_icov)) {
+        best_gcov = gcov;
+        best_icov = icov;
+        best_j = j;
+      }
+    }
+    if (best_j == kNone) {
+      out = {l.current, l.hops, false};
+      return true;
+    }
+    l.current = links.targets_data()[l.row_begin + best_j];
+    l.cur_id = ids[best_j];
+    ++l.hops;
+    links.prefetch_row_bounds(l.current);
+    return false;
+  }
+};
+
 }  // namespace
 
 void GroupRouter::route_into(std::uint32_t from, NodeId key,
@@ -307,6 +414,23 @@ void GroupRouter::route_into(std::uint32_t from, NodeId key,
 RouteProbe GroupRouter::probe(std::uint32_t from, NodeId key) const {
   return group_core(*net_, *groups_, *links_, max_hops_, from, key,
                     GroupNullRecorder{});
+}
+
+void GroupRouter::probe_batch(std::span<const Query> queries,
+                              std::span<RouteProbe> out) const {
+  if (queries.size() != out.size()) {
+    throw std::invalid_argument("probe_batch: out.size() != queries.size()");
+  }
+  const int width = probe_batch_width();
+  if (width <= 0 || !links_->has_inline_ids()) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out[i] = probe(queries[i].from, queries[i].key);
+    }
+    return;
+  }
+  detail::interleaved_probe_batch(
+      queries, out, width,
+      GroupStepper{*net_, *groups_, *links_, net_->space().mask(), max_hops_});
 }
 
 Route GroupRouter::route(std::uint32_t from, NodeId key) const {

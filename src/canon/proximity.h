@@ -101,6 +101,12 @@ class GroupRouter {
   void route_into(std::uint32_t from, NodeId key, Route& out) const;
   RouteProbe probe(std::uint32_t from, NodeId key) const;
 
+  /// Interleaved batch probe over the two-phase group walk; see
+  /// RingRouter::probe_batch in overlay/routing.h for the contract
+  /// (out[i] == probe(queries[i]) at every batch width).
+  void probe_batch(std::span<const Query> queries,
+                   std::span<RouteProbe> out) const;
+
  private:
   const OverlayNetwork* net_;
   const GroupedOverlay* groups_;

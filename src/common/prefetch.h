@@ -1,0 +1,23 @@
+// Portable software-prefetch shim for the memory-level-parallel hot paths
+// (overlay/batch_probe.h). A prefetch is a pure scheduling hint: it never
+// changes which bytes a kernel reads or what it computes, only *when* the
+// cache line starts moving — the determinism contracts are untouched by
+// construction.
+#ifndef CANON_COMMON_PREFETCH_H
+#define CANON_COMMON_PREFETCH_H
+
+namespace canon {
+
+/// Hints the prefetcher to pull the line holding `p` for a read. No-op on
+/// toolchains without __builtin_prefetch.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace canon
+
+#endif  // CANON_COMMON_PREFETCH_H

@@ -1,0 +1,140 @@
+// Interleaved batch probe driver: the memory-level-parallelism engine
+// behind RingRouter/XorRouter/GroupRouter::probe_batch.
+//
+// Greedy DHT routing is a chain of dependent random accesses — each hop's
+// CSR row address is known only after the previous row is scanned — so a
+// single lookup cannot hide DRAM latency. A *batch* of lookups can: the
+// driver keeps a window of W independent queries ("lanes") in flight and
+// advances each by one greedy hop per round, in two passes:
+//
+//   fetch pass   — every lane reads its row bounds (prefetched at the end
+//                  of the previous round) and issues prefetches for the
+//                  row payload (inline NodeIds + target indices).
+//   advance pass — every lane scans its now-arriving row, picks the same
+//                  winner the scalar core would, and prefetches the next
+//                  node's row bounds.
+//
+// This is classic group prefetching (a static sibling of AMAC): by the
+// time lane i's scan runs, its row has been streaming in while the other
+// W-1 lanes were scanned, so one lane's cache miss overlaps the others'
+// compute. Finished lanes retire their RouteProbe and refill from the
+// remaining queries, keeping the window full until the batch drains.
+//
+// Determinism: prefetches are scheduling hints and every lane executes
+// the scalar hop sequence unchanged, so out[i] is bit-identical to
+// probe(queries[i]) at every width — the equivalence contract
+// tests/batch_probe_test.cc pins for all families.
+//
+// Internal header: included by routing.cc and canon/proximity.cc only.
+// The Stepper supplies the metric-specific pieces:
+//
+//   struct Stepper {
+//     struct Lane { std::size_t query_index; ... };
+//     void begin(Lane&, const Query&, std::size_t query_index) const;
+//     void fetch(Lane&) const;    // read bounds, prefetch row payload
+//     bool advance(Lane&, RouteProbe& out) const;  // one greedy hop;
+//                                 // true = done, `out` is the result
+//   };
+#ifndef CANON_OVERLAY_BATCH_PROBE_H
+#define CANON_OVERLAY_BATCH_PROBE_H
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/ids.h"
+#include "overlay/routing.h"
+
+namespace canon::detail {
+
+/// Runs `queries` through `st` with a window of `width` lanes (clamped to
+/// [1, kMaxProbeBatchWidth] and to the batch size). Writes one RouteProbe
+/// per query, in query order.
+template <typename Stepper>
+void interleaved_probe_batch(std::span<const Query> queries,
+                             std::span<RouteProbe> out, int width,
+                             const Stepper& st) {
+  using Lane = typename Stepper::Lane;
+  const std::size_t n = queries.size();
+  const std::size_t w = std::min(
+      n, static_cast<std::size_t>(std::clamp(width, 1, kMaxProbeBatchWidth)));
+
+  std::array<Lane, kMaxProbeBatchWidth> lanes;
+  std::size_t next = 0;
+  std::size_t active = 0;
+  for (; active < w; ++active, ++next) {
+    st.begin(lanes[active], queries[next], next);
+  }
+  while (active > 0) {
+    for (std::size_t i = 0; i < active; ++i) st.fetch(lanes[i]);
+    for (std::size_t i = 0; i < active;) {
+      RouteProbe result;
+      if (!st.advance(lanes[i], result)) {
+        ++i;
+        continue;
+      }
+      out[lanes[i].query_index] = result;
+      if (next < n) {
+        // Refill in place; the fresh lane fetches at the top of the next
+        // round, so its begin() prefetches get a full round of cover.
+        st.begin(lanes[i], queries[next], next);
+        ++next;
+        ++i;
+      } else {
+        // Batch drained: compact the window (order within the window is
+        // irrelevant — lanes are independent and retire by query_index).
+        lanes[i] = lanes[--active];
+      }
+    }
+  }
+}
+
+/// Index of the scalar ring winner in `ids[0..count)`, or kNoScanWinner.
+/// Branch-light restatement of the ring_core scan: a neighbor covering
+/// `covered` clockwise distance is valid iff 0 < covered <= remaining;
+/// overshooters are masked to 0 and a strict running max keeps the
+/// first-best index — exactly the scalar loop's `covered <= remaining &&
+/// covered > best_covered` (best_covered starts at 0, so covered == 0
+/// never wins there either).
+inline constexpr std::size_t kNoScanWinner = static_cast<std::size_t>(-1);
+
+inline std::size_t ring_scan_argbest(const NodeId* ids, std::size_t count,
+                                     NodeId cur_id, std::uint64_t mask,
+                                     std::uint64_t remaining) {
+  std::size_t best_j = kNoScanWinner;
+  std::uint64_t best_covered = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint64_t covered = (ids[j] - cur_id) & mask;
+    const std::uint64_t masked = covered <= remaining ? covered : 0;
+    if (masked > best_covered) {
+      best_covered = masked;
+      best_j = j;
+    }
+  }
+  return best_j;
+}
+
+/// Index of the scalar XOR winner in `ids[0..count)`, or kNoScanWinner:
+/// running argmin of xor-distance seeded with the current node's own
+/// distance, strict `<` keeping the first-best index — the xor_core loop
+/// verbatim.
+inline std::size_t xor_scan_argbest(const NodeId* ids, std::size_t count,
+                                    NodeId key, std::uint64_t mask,
+                                    std::uint64_t remaining) {
+  std::size_t best_j = kNoScanWinner;
+  std::uint64_t best_d = remaining;
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::uint64_t d = (ids[j] ^ key) & mask;
+    if (d < best_d) {
+      best_d = d;
+      best_j = j;
+    }
+  }
+  return best_j;
+}
+
+}  // namespace canon::detail
+
+#endif  // CANON_OVERLAY_BATCH_PROBE_H

@@ -110,6 +110,10 @@ FamilyRouter wrap(std::shared_ptr<const State> state) {
   return r;
 }
 
+// The Ring/Xor/Group states route through engine.run(), whose probe_batch
+// detection picks up those routers' interleaved batch kernels
+// transparently; Can/CanCan expose only route() and stay on the generic
+// full-mode core below — the registry-level scalar fallback.
 struct RingState {
   RingRouter plain;
   ResilientRingRouter resilient;

@@ -44,9 +44,11 @@
 #include <functional>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/prefetch.h"
 #include "common/stats.h"
 #include "telemetry/mem_stats.h"
 
@@ -131,6 +133,51 @@ class LinkTable {
     }
     return {target_ids_.data() + offsets_[node],
             static_cast<std::size_t>(offsets_[node + 1] - offsets_[node])};
+  }
+
+  // Unchecked row views for the interleaved batch probe kernels
+  // (overlay/batch_probe.h). These skip the finalized_/ids_ guards that
+  // neighbors()/neighbor_ids() carry — the routers validate once at
+  // construction — so the per-hop loop stays branch-free. row_bounds()
+  // plus targets_data()/target_ids_data() together are exactly
+  // neighbors()/neighbor_ids() decomposed into reusable pieces.
+
+  /// [begin, end) offsets of `node`'s CSR row. Requires finalize().
+  std::pair<LinkOffset, LinkOffset> row_bounds(NodeIndex node) const {
+    return {offsets_[node], offsets_[node + 1]};
+  }
+  /// Flat CSR neighbor-index array. Requires finalize().
+  const NodeIndex* targets_data() const { return targets_.data(); }
+  /// Flat inline neighbor-NodeId array. Requires finalize(ids).
+  const NodeId* target_ids_data() const { return target_ids_.data(); }
+
+  /// Prefetch hooks of the group-prefetching discipline: pull `node`'s
+  /// row bounds one round before row_bounds() reads them, then the row's
+  /// inline-ID and target payload one round before the greedy scan walks
+  /// them. Pure scheduling hints — they never change what any kernel
+  /// computes (common/prefetch.h).
+  void prefetch_row_bounds(NodeIndex node) const {
+    prefetch_ro(offsets_.data() + node);
+    prefetch_ro(offsets_.data() + node + 1);
+  }
+  void prefetch_row_payload(LinkOffset begin, LinkOffset end) const {
+    // Degrees are O(log n); cap the touched lines anyway so a pathological
+    // row cannot evict more than it hides.
+    constexpr int kMaxLines = 16;
+    constexpr std::size_t kIdsPerLine = 64 / sizeof(NodeId);
+    const NodeId* id = target_ids_.data() + begin;
+    const NodeId* id_stop = target_ids_.data() + end;
+    for (int line = 0; line < kMaxLines && id < id_stop;
+         ++line, id += kIdsPerLine) {
+      prefetch_ro(id);
+    }
+    constexpr std::size_t kTargetsPerLine = 64 / sizeof(NodeIndex);
+    const NodeIndex* tgt = targets_.data() + begin;
+    const NodeIndex* tgt_stop = targets_.data() + end;
+    for (int line = 0; line < kMaxLines && tgt < tgt_stop;
+         ++line, tgt += kTargetsPerLine) {
+      prefetch_ro(tgt);
+    }
   }
 
   /// True if the directed link from->to exists (requires finalize()).

@@ -1,6 +1,7 @@
 #include "overlay/query_engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/parallel.h"
 #include "common/zipf.h"
@@ -8,11 +9,30 @@
 
 namespace canon {
 
+namespace {
+
+// Runtime shard size (see query_grain() in the header). Relaxed atomics:
+// set at startup or between batches, never mid-batch.
+std::atomic<std::size_t> g_query_grain{kQueryGrain};
+
+}  // namespace
+
+std::size_t query_grain() {
+  return g_query_grain.load(std::memory_order_relaxed);
+}
+
+void set_query_grain(std::size_t grain) {
+  g_query_grain.store(grain == 0 ? kQueryGrain : grain,
+                      std::memory_order_relaxed);
+}
+
 std::vector<Query> generate_workload(
     std::size_t count, const Rng& base,
     const std::function<Query(Rng&, std::size_t)>& make) {
   std::vector<Query> out(count);
-  parallel_for(count, kQueryGrain,
+  // Query i is a pure function of base.fork(i): any grain partitions the
+  // same per-index work, so the workload is grain- and thread-invariant.
+  parallel_for(count, query_grain(),
                [&](std::size_t begin, std::size_t end) {
                  for (std::size_t i = begin; i < end; ++i) {
                    Rng q = base.fork(i);
@@ -99,9 +119,11 @@ QueryEngine::QueryEngine(const OverlayNetwork& net)
 QueryStats QueryEngine::run_batch(std::span<const Query> queries,
                                   const RouteIntoFn& route_into,
                                   const ProbeFn& probe,
-                                  std::vector<RouteProbe>* per_query) const {
+                                  std::vector<RouteProbe>* per_query,
+                                  const ProbeBatchFn& probe_batch) const {
   const std::size_t n = queries.size();
-  const std::size_t shards = (n + kQueryGrain - 1) / kQueryGrain;
+  const std::size_t grain = query_grain();
+  const std::size_t shards = (n + grain - 1) / grain;
   if (per_query) per_query->assign(n, RouteProbe{});
 
   // Probe mode: terminal-only routing, no path materialized anywhere.
@@ -123,12 +145,24 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
     telemetry::LoadAccountant::Shard* load_shard =
         load_ ? &load_shards[s] : nullptr;
     Route scratch;  // one buffer per shard, capacity reused across queries
-    const std::size_t begin = s * kQueryGrain;
-    const std::size_t end = std::min(n, begin + kQueryGrain);
+    const std::size_t begin = s * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    // The interleaved kernel routes the whole shard up front; the stats
+    // loop below then drains its results in query order, so every
+    // accumulation (and with it every figure) is identical to the
+    // per-query probe path.
+    std::vector<RouteProbe> batch_out;
+    const bool use_batch = use_probe && probe_batch != nullptr;
+    if (use_batch) {
+      batch_out.resize(end - begin);
+      probe_batch(queries.subspan(begin, end - begin), batch_out);
+    }
     for (std::size_t i = begin; i < end; ++i) {
       const Query& q = queries[i];
       RouteProbe p;
-      if (use_probe) {
+      if (use_batch) {
+        p = batch_out[i - begin];
+      } else if (use_probe) {
         p = probe(q.from, q.key);
       } else {
         route_into(q.from, q.key, scratch);
@@ -145,7 +179,8 @@ QueryStats QueryEngine::run_batch(std::span<const Query> queries,
       if (per_query) (*per_query)[i] = p;
     }
     if (!scratch_bytes.empty()) {
-      scratch_bytes[s] = telemetry::vector_bytes(scratch.path);
+      scratch_bytes[s] = telemetry::vector_bytes(scratch.path) +
+                         telemetry::vector_bytes(batch_out);
     }
   };
 

@@ -45,13 +45,8 @@
 
 namespace canon {
 
-/// One lookup of a batch workload.
-struct Query {
-  NodeIndex from = 0;       ///< source node index
-  NodeId key = 0;          ///< target key
-
-  friend bool operator==(const Query&, const Query&) = default;
-};
+// struct Query lives in overlay/routing.h (included above) so the
+// routers' probe_batch entry points can name it without a cycle.
 
 /// Pre-generates `count` queries, query i drawn from `base.fork(i)` by
 /// `make(rng, i)`. Parallelized over fixed shards; the result depends only
@@ -118,8 +113,18 @@ struct ResilientStats {
 };
 
 /// Queries per shard: one lookup costs ~1µs at 64K nodes, so 256 amortize
-/// the shard claim while a 4000-trial cell still yields ~16 shards.
+/// the shard claim while a 4000-trial cell still yields ~16 shards. The
+/// compile-time default behind the runtime knob below.
 inline constexpr std::size_t kQueryGrain = 256;
+
+/// Process-wide queries-per-shard knob (the benches' --grain flag).
+/// Returns kQueryGrain until set; set_query_grain(0) resets to the
+/// default, other values clamp to >= 1. The shard partition is a pure
+/// function of (workload size, grain) — never of the thread count — so
+/// any fixed grain yields byte-identical figures at every --threads;
+/// different grains may legitimately differ in float-summation order.
+std::size_t query_grain();
+void set_query_grain(std::size_t grain);
 
 /// See the file comment. One engine per overlay; routers are passed per
 /// run() call and only read.
@@ -160,13 +165,29 @@ class QueryEngine {
       std::function<void(NodeIndex, NodeId, Route&)>;
   /// Terminal-only variant; pass nullptr when the router has none.
   using ProbeFn = std::function<RouteProbe(NodeIndex, NodeId)>;
+  /// Whole-shard terminal-only variant: the router's interleaved batch
+  /// kernel (probe_batch), one result per query. Optional — probe mode
+  /// falls back to per-query ProbeFn calls when absent.
+  using ProbeBatchFn =
+      std::function<void(std::span<const Query>, std::span<RouteProbe>)>;
 
   /// Runs the batch through any router exposing the route_into/probe hot
   /// paths (RingRouter, XorRouter, GroupRouter). When `per_query` is given
-  /// it receives one RouteProbe per query, in workload order.
+  /// it receives one RouteProbe per query, in workload order. Routers
+  /// exposing probe_batch (the memory-level-parallel kernels) are picked
+  /// up transparently: probe mode then routes whole shards through the
+  /// interleaved kernel — same results, fewer stalls.
   template <typename Router>
   QueryStats run(std::span<const Query> queries, const Router& router,
                  std::vector<RouteProbe>* per_query = nullptr) const {
+    ProbeBatchFn probe_batch;
+    if constexpr (requires(const Router& r, std::span<const Query> q,
+                           std::span<RouteProbe> o) { r.probe_batch(q, o); }) {
+      probe_batch = [&router](std::span<const Query> q,
+                              std::span<RouteProbe> o) {
+        router.probe_batch(q, o);
+      };
+    }
     return run_batch(
         queries,
         [&router](NodeIndex from, NodeId key, Route& out) {
@@ -175,7 +196,7 @@ class QueryEngine {
         [&router](NodeIndex from, NodeId key) {
           return router.probe(from, key);
         },
-        per_query);
+        per_query, probe_batch);
   }
 
   /// Same, through RingRouter's lookahead variant.
@@ -197,10 +218,13 @@ class QueryEngine {
   /// `probe` is non-null and nothing needs paths: no cost fn, no level
   /// tracking, no sink. Routers exposing only route() fit via
   ///   [&](auto f, auto k, Route& out) { out = router.route(f, k); }
-  /// with a null probe.
+  /// with a null probe. In probe mode a non-null `probe_batch` handles
+  /// whole shards at once (the interleaved kernels); it must write
+  /// out[i] == probe(queries[i].from, queries[i].key) for every i.
   QueryStats run_batch(std::span<const Query> queries,
                        const RouteIntoFn& route_into, const ProbeFn& probe,
-                       std::vector<RouteProbe>* per_query = nullptr) const;
+                       std::vector<RouteProbe>* per_query = nullptr,
+                       const ProbeBatchFn& probe_batch = {}) const;
 
   /// The resilient batch mode: materializes `plan` once (journaling its
   /// crash/revive events when a journal is attached) and runs the batch
@@ -232,7 +256,8 @@ class QueryEngine {
                                     std::vector<RouteProbe>* per_query =
                                         nullptr) const {
     const std::size_t n = queries.size();
-    const std::size_t shards = (n + kQueryGrain - 1) / kQueryGrain;
+    const std::size_t grain = query_grain();
+    const std::size_t shards = (n + grain - 1) / grain;
     if (per_query) per_query->assign(n, RouteProbe{});
     const bool use_probe =
         !cost_ && !level_tracking_ && sink_ == nullptr && load_ == nullptr;
@@ -248,8 +273,8 @@ class QueryEngine {
           load_ ? &load_shards[s] : nullptr;
       Route route_scratch;  // per-shard buffers, capacity reused
       typename RRouter::Scratch scratch;
-      const std::size_t begin = s * kQueryGrain;
-      const std::size_t end = std::min(n, begin + kQueryGrain);
+      const std::size_t begin = s * grain;
+      const std::size_t end = std::min(n, begin + grain);
       for (std::size_t i = begin; i < end; ++i) {
         const Query& q = queries[i];
         if (dead.dead(q.from)) {

@@ -1,13 +1,25 @@
 #include "overlay/routing.h"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <utility>
+
+#include "common/prefetch.h"
+#include "overlay/batch_probe.h"
 
 namespace canon {
 
 namespace {
 
 constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+static_assert(kNoCandidate == detail::kNoScanWinner,
+              "scalar cores and batch kernels share the sentinel");
+
+// Process-wide batch window (see routing.h). Relaxed atomics: the knob is
+// set once at startup (bench flag parsing) or between batches in tests —
+// never mid-batch — so ordering carries no data.
+std::atomic<int> g_probe_batch_width{kDefaultProbeBatchWidth};
 
 int hop_guard(const OverlayNetwork& net) {
   // Generous upper bound; all routes in a correct structure finish in
@@ -51,18 +63,26 @@ RouteProbe ring_core(const OverlayNetwork& net, const LinkTable& links,
     const std::uint64_t remaining = space.ring_distance(net.id(current), key);
     // Choose the neighbor that covers the most clockwise distance without
     // overshooting the key. The scan reads only the contiguous NodeId
-    // array; the winner's index is fetched once afterwards.
+    // array; the winner's index is fetched once afterwards. The inline-id
+    // path shares the branch-light kernel with the batch probe
+    // (overlay/batch_probe.h) — one winner-selection to test, one to
+    // autovectorize.
     std::size_t best_j = kNoCandidate;
-    std::uint64_t best_covered = 0;
     const NodeId cur_id = net.id(current);
     const auto neighbors = links.neighbors(current);
     const NodeId* nb_ids = inline_ids_or_null(links, current);
-    for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      const NodeId nb_id = nb_ids ? nb_ids[j] : net.id(neighbors[j]);
-      const std::uint64_t covered = space.ring_distance(cur_id, nb_id);
-      if (covered <= remaining && covered > best_covered) {
-        best_covered = covered;
-        best_j = j;
+    if (nb_ids) {
+      best_j = detail::ring_scan_argbest(nb_ids, neighbors.size(), cur_id,
+                                         space.mask(), remaining);
+    } else {
+      std::uint64_t best_covered = 0;
+      for (std::size_t j = 0; j < neighbors.size(); ++j) {
+        const std::uint64_t covered =
+            space.ring_distance(cur_id, net.id(neighbors[j]));
+        if (covered <= remaining && covered > best_covered) {
+          best_covered = covered;
+          best_j = j;
+        }
       }
     }
     const NodeIndex best =
@@ -148,15 +168,19 @@ RouteProbe xor_core(const OverlayNetwork& net, const LinkTable& links,
   for (int step = 0; step < max_hops; ++step) {
     const std::uint64_t remaining = space.xor_distance(net.id(current), key);
     std::size_t best_j = kNoCandidate;
-    std::uint64_t best_remaining = remaining;
     const auto neighbors = links.neighbors(current);
     const NodeId* nb_ids = inline_ids_or_null(links, current);
-    for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      const NodeId nb_id = nb_ids ? nb_ids[j] : net.id(neighbors[j]);
-      const std::uint64_t d = space.xor_distance(nb_id, key);
-      if (d < best_remaining) {
-        best_remaining = d;
-        best_j = j;
+    if (nb_ids) {
+      best_j = detail::xor_scan_argbest(nb_ids, neighbors.size(), key,
+                                        space.mask(), remaining);
+    } else {
+      std::uint64_t best_remaining = remaining;
+      for (std::size_t j = 0; j < neighbors.size(); ++j) {
+        const std::uint64_t d = space.xor_distance(net.id(neighbors[j]), key);
+        if (d < best_remaining) {
+          best_remaining = d;
+          best_j = j;
+        }
       }
     }
     const NodeIndex best =
@@ -210,7 +234,166 @@ void finish_route(const Route& r, NodeId key, const OverlayNetwork& net,
   sink->end_lookup(trace_id, r.ok, r.terminal());
 }
 
+// Lane state + metric hooks of the interleaved batch kernels, driven by
+// detail::interleaved_probe_batch (overlay/batch_probe.h has the
+// fetch/advance contract, round structure, and equivalence argument).
+// Both steppers carry the current node's NodeId forward from the winning
+// scan entry — target_ids_[k] is ids[targets_[k]] by CSR construction —
+// so the steady-state hop never touches the overlay's id array; only a
+// fresh lane reads it once (need_id).
+
+struct RingStepper {
+  const OverlayNetwork& net;
+  const LinkTable& links;
+  std::uint64_t mask;
+  int max_hops;
+
+  struct Lane {
+    std::size_t query_index;
+    NodeIndex current;
+    NodeId cur_id;  // == net.id(current) once need_id clears
+    NodeId key;
+    int hops;
+    LinkOffset row_begin;
+    LinkOffset row_end;
+    bool need_id;
+  };
+
+  void begin(Lane& l, const Query& q, std::size_t query_index) const {
+    l.query_index = query_index;
+    l.current = q.from;
+    l.key = q.key;
+    l.hops = 0;
+    l.need_id = true;
+    prefetch_ro(net.ids().data() + q.from);
+    links.prefetch_row_bounds(q.from);
+  }
+
+  void fetch(Lane& l) const {
+    if (l.need_id) {
+      l.cur_id = net.id(l.current);
+      l.need_id = false;
+    }
+    const auto [b, e] = links.row_bounds(l.current);
+    l.row_begin = b;
+    l.row_end = e;
+    links.prefetch_row_payload(b, e);
+  }
+
+  bool advance(Lane& l, RouteProbe& out) const {
+    if (l.hops >= max_hops) {  // ring_core's hop-guard exhaustion
+      out = {l.current, l.hops, false};
+      return true;
+    }
+    const std::uint64_t remaining = (l.key - l.cur_id) & mask;
+    const NodeId* ids = links.target_ids_data() + l.row_begin;
+    const std::size_t count = l.row_end - l.row_begin;
+    const std::size_t best_j =
+        detail::ring_scan_argbest(ids, count, l.cur_id, mask, remaining);
+    if (best_j == kNoCandidate) {
+      out = {l.current, l.hops, l.current == net.responsible(l.key)};
+      return true;
+    }
+    l.current = links.targets_data()[l.row_begin + best_j];
+    l.cur_id = ids[best_j];
+    ++l.hops;
+    links.prefetch_row_bounds(l.current);
+    return false;
+  }
+};
+
+struct XorStepper {
+  const OverlayNetwork& net;
+  const LinkTable& links;
+  std::uint64_t mask;
+  int max_hops;
+
+  struct Lane {
+    std::size_t query_index;
+    NodeIndex current;
+    NodeId cur_id;
+    NodeId key;
+    int hops;
+    LinkOffset row_begin;
+    LinkOffset row_end;
+    bool need_id;
+  };
+
+  void begin(Lane& l, const Query& q, std::size_t query_index) const {
+    l.query_index = query_index;
+    l.current = q.from;
+    l.key = q.key;
+    l.hops = 0;
+    l.need_id = true;
+    prefetch_ro(net.ids().data() + q.from);
+    links.prefetch_row_bounds(q.from);
+  }
+
+  void fetch(Lane& l) const {
+    if (l.need_id) {
+      l.cur_id = net.id(l.current);
+      l.need_id = false;
+    }
+    const auto [b, e] = links.row_bounds(l.current);
+    l.row_begin = b;
+    l.row_end = e;
+    links.prefetch_row_payload(b, e);
+  }
+
+  bool advance(Lane& l, RouteProbe& out) const {
+    if (l.hops >= max_hops) {  // xor_core's hop-guard exhaustion
+      out = {l.current, l.hops, false};
+      return true;
+    }
+    const std::uint64_t remaining = (l.cur_id ^ l.key) & mask;
+    const NodeId* ids = links.target_ids_data() + l.row_begin;
+    const std::size_t count = l.row_end - l.row_begin;
+    const std::size_t best_j =
+        detail::xor_scan_argbest(ids, count, l.key, mask, remaining);
+    if (best_j == kNoCandidate) {
+      out = {l.current, l.hops, l.current == net.xor_closest(l.key)};
+      return true;
+    }
+    l.current = links.targets_data()[l.row_begin + best_j];
+    l.cur_id = ids[best_j];
+    ++l.hops;
+    links.prefetch_row_bounds(l.current);
+    return false;
+  }
+};
+
+/// Shared probe_batch shell: scalar loop when batching is off or the
+/// table has no inline ids (the interleaved kernels scan target_ids_),
+/// else the windowed driver.
+template <typename Stepper, typename Router>
+void probe_batch_with(std::span<const Query> queries,
+                      std::span<RouteProbe> out, const Router& router,
+                      const OverlayNetwork& net, const LinkTable& links,
+                      int max_hops) {
+  if (queries.size() != out.size()) {
+    throw std::invalid_argument("probe_batch: out.size() != queries.size()");
+  }
+  const int width = probe_batch_width();
+  if (width <= 0 || !links.has_inline_ids()) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out[i] = router.probe(queries[i].from, queries[i].key);
+    }
+    return;
+  }
+  detail::interleaved_probe_batch(
+      queries, out, width, Stepper{net, links, net.space().mask(), max_hops});
+}
+
 }  // namespace
+
+int probe_batch_width() {
+  return g_probe_batch_width.load(std::memory_order_relaxed);
+}
+
+void set_probe_batch_width(int width) {
+  g_probe_batch_width.store(std::clamp(width, 0, kMaxProbeBatchWidth),
+                            std::memory_order_relaxed);
+}
 
 RingRouter::RingRouter(const OverlayNetwork& net, const LinkTable& links)
     : net_(&net),
@@ -236,6 +419,12 @@ void RingRouter::route_into(NodeIndex from, NodeId key, Route& out) const {
 
 RouteProbe RingRouter::probe(NodeIndex from, NodeId key) const {
   return ring_core(*net_, *links_, max_hops_, from, key, NullRecorder{});
+}
+
+void RingRouter::probe_batch(std::span<const Query> queries,
+                             std::span<RouteProbe> out) const {
+  probe_batch_with<RingStepper>(queries, out, *this, *net_, *links_,
+                                max_hops_);
 }
 
 Route RingRouter::route(NodeIndex from, NodeId key) const {
@@ -291,6 +480,12 @@ void XorRouter::route_into(NodeIndex from, NodeId key, Route& out) const {
 
 RouteProbe XorRouter::probe(NodeIndex from, NodeId key) const {
   return xor_core(*net_, *links_, max_hops_, from, key, NullRecorder{});
+}
+
+void XorRouter::probe_batch(std::span<const Query> queries,
+                            std::span<RouteProbe> out) const {
+  probe_batch_with<XorStepper>(queries, out, *this, *net_, *links_,
+                               max_hops_);
 }
 
 Route XorRouter::route(NodeIndex from, NodeId key) const {

@@ -12,6 +12,7 @@
 #define CANON_OVERLAY_ROUTING_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/ids.h"
@@ -43,6 +44,33 @@ struct RouteProbe {
 
   friend bool operator==(const RouteProbe&, const RouteProbe&) = default;
 };
+
+/// One lookup of a batch workload (lives here rather than in
+/// query_engine.h so the routers' probe_batch entry points can name it).
+struct Query {
+  NodeIndex from = 0;      ///< source node index
+  NodeId key = 0;          ///< target key
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+/// Hard cap on the interleaved batch window: lane state must stay small
+/// enough to live in L1 while W outstanding CSR rows stream in.
+inline constexpr int kMaxProbeBatchWidth = 64;
+
+/// Default window. 8-16 lanes cover typical DRAM latency at one greedy
+/// scan (~tens of ns) per lane per round; chosen by measurement on the
+/// reference container (docs/PERFORMANCE.md "Memory-level parallelism").
+inline constexpr int kDefaultProbeBatchWidth = 16;
+
+/// Process-wide batch window for every probe_batch() entry point
+/// (routers are stateless about it, like parallel thread count).
+/// Width <= 0 selects the scalar per-query probe loop — the reference
+/// the equivalence tests compare against; width 1 runs the interleaved
+/// kernel with a single lane. Values above kMaxProbeBatchWidth clamp.
+/// Results are byte-identical at every width by construction.
+int probe_batch_width();
+void set_probe_batch_width(int width);
 
 // Hot-path contract shared by RingRouter / XorRouter (and GroupRouter in
 // canon/proximity.h):
@@ -86,6 +114,17 @@ class RingRouter {
   RouteProbe probe(NodeIndex from, NodeId key) const;
   RouteProbe probe_lookahead(NodeIndex from, NodeId key) const;
 
+  /// Memory-level-parallel probe: advances probe_batch_width() queries in
+  /// lockstep, one greedy hop each per round, prefetching every lane's
+  /// next CSR row before any row is scanned. out[i] is exactly
+  /// probe(queries[i].from, queries[i].key) — same hops, terminal, ok —
+  /// at every width; only the memory schedule differs. Falls back to the
+  /// scalar probe loop when the width is <= 0 or the link table has no
+  /// inline ids. Same concurrency guarantee as probe().
+  /// Requires out.size() == queries.size().
+  void probe_batch(std::span<const Query> queries,
+                   std::span<RouteProbe> out) const;
+
   /// Attaches a trace sink receiving per-hop events (hierarchy level,
   /// candidates evaluated) for every subsequent route; nullptr detaches.
   /// Only route()/route_lookahead() emit events; the *_into/probe hot
@@ -114,6 +153,10 @@ class XorRouter {
   /// Allocation-free variants: see the hot-path contract above.
   void route_into(NodeIndex from, NodeId key, Route& out) const;
   RouteProbe probe(NodeIndex from, NodeId key) const;
+
+  /// Interleaved batch probe; see RingRouter::probe_batch.
+  void probe_batch(std::span<const Query> queries,
+                   std::span<RouteProbe> out) const;
 
   /// Attaches a trace sink (see RingRouter::set_trace).
   void set_trace(telemetry::RouteTraceSink* sink) { sink_ = sink; }
