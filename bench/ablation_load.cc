@@ -107,7 +107,6 @@ int main(int argc, char** argv) {
     const auto links = build_crescendo(net);
     EventSimulator sim(net, links);
     telemetry::TimeSeriesRecorder series(25.0);
-    sim.set_timeseries(&series);
 
     const double submit_gap_ms = 0.02;
     const double span_ms = submit_gap_ms * static_cast<double>(lookups);
@@ -118,7 +117,10 @@ int main(int argc, char** argv) {
     for (const FaultEvent& fe : plan.events()) {
       timed.crash(fe.node, crash_at);
     }
-    sim.set_fault_plan(&timed);
+    SimSinks sinks;
+    sinks.timeseries = &series;
+    sinks.fault_plan = &timed;
+    sim.attach(sinks);
 
     Rng qrng(seed);
     for (std::uint64_t t = 0; t < lookups; ++t) {

@@ -112,30 +112,34 @@ class BenchRun {
     if (json_enabled()) {
       prev_registry_ = telemetry::install_registry(&registry_);
     }
-    // Construction thread count (0 ⇒ hardware_concurrency, 1 ⇒ the exact
-    // serial code path). Builds are deterministic at any thread count, so
-    // --threads never changes a figure's numbers — only its wall clock.
-    set_parallel_threads(
-        static_cast<int>(flag_u64(argc, argv, "threads", 0)));
+    // Execution knobs (0 ⇒ hardware_concurrency / default grain). Figures
+    // are byte-identical at every --threads and --batch-width, and at
+    // every --grain up to float-summation order (see query_grain() in
+    // overlay/query_engine.h); check_json_schema.py strips all three from
+    // compared reports. Parsed into one RunOptions so a bench passes the
+    // same bag to engine.run()/run_resilient() that was applied here.
+    opts_.threads = static_cast<int>(flag_u64(argc, argv, "threads", 0));
+    opts_.grain =
+        static_cast<std::size_t>(flag_u64(argc, argv, "grain", 0));
+    opts_.batch_width = static_cast<int>(flag_u64(
+        argc, argv, "batch-width",
+        static_cast<std::uint64_t>(kDefaultProbeBatchWidth)));
+    opts_.apply();
     record("threads", std::to_string(parallel_threads()),
            telemetry::JsonValue(
                static_cast<std::int64_t>(parallel_threads())));
-    // Batch-engine knobs, same contract as --threads: figures are
-    // byte-identical at every --batch-width, and at every --grain up to
-    // float-summation order (see query_grain() in overlay/query_engine.h).
-    // check_json_schema.py strips both from compared reports.
-    set_query_grain(
-        static_cast<std::size_t>(flag_u64(argc, argv, "grain", 0)));
     record("grain", std::to_string(query_grain()),
            telemetry::JsonValue(
                static_cast<std::uint64_t>(query_grain())));
-    set_probe_batch_width(static_cast<int>(flag_u64(
-        argc, argv, "batch-width",
-        static_cast<std::uint64_t>(kDefaultProbeBatchWidth))));
     record("batch_width", std::to_string(probe_batch_width()),
            telemetry::JsonValue(
                static_cast<std::int64_t>(probe_batch_width())));
   }
+
+  /// The execution knobs parsed from the standard flags (already applied
+  /// process-wide by the constructor). Copy it to add a per-run fault
+  /// plan or trace sink before handing it to the engine.
+  const RunOptions& run_options() const { return opts_; }
 
   BenchRun(const BenchRun&) = delete;
   BenchRun& operator=(const BenchRun&) = delete;
@@ -219,6 +223,7 @@ class BenchRun {
 
   int argc_;
   char** argv_;
+  RunOptions opts_;
   std::string json_path_;
   telemetry::BenchReport report_;
   telemetry::MetricsRegistry registry_;

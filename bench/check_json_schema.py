@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """End-to-end check for the machine-readable output schemas.
 
-Five modes:
+Modes:
 
   check_json_schema.py <bench_binary>
     Runs a bench binary with small parameters and --json, then asserts the
@@ -45,6 +45,15 @@ Five modes:
     §5 confinement ratio exactly 1.0 for every hierarchical row) plus the
     crash_curve row's time series (windows ordered, failures only after
     the crash point, live-node count dropping by the crash count).
+
+  check_json_schema.py --congestion <ablation_congestion_binary>
+    Runs the congestion ablation (message-granularity simulation) and
+    asserts the per-row schema plus the paper-level shape of the sweep:
+    uniform rows stay flat across offered load, Zipf flash-crowd rows
+    show the knee (zero timeouts below saturation, a large super-linear
+    jump past it, p99 rising with it), hierarchical rows keep the §5
+    confinement ratio >= 0.95 under the flash crowd while flat rows stay
+    < 0.2, and the collapse rows carry the congestion time series.
 
   check_json_schema.py --scale <bench_scale_binary>
     Runs the mega-scale bench with small parameters and asserts the
@@ -366,6 +375,97 @@ def check_load(binary):
         f"{crash['crashed']}")
 
 
+CONGESTION_ROW_FIELDS = ("name", "family", "workload", "alpha", "load",
+                         "gap_ms", "p50_ms", "p99_ms", "p999_ms",
+                         "mean_hops", "sent", "serviced", "timeouts",
+                         "retries", "link_drops", "inbox_drops", "failures",
+                         "max_queue_depth", "confinement", "load_stats")
+
+
+def check_congestion(binary):
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "report.json")
+        subprocess.run([binary, f"--json={out}"],
+                       check=True, stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+    check_report_envelope(doc)
+    assert doc["bench"] == "ablation_congestion"
+    rows = doc["series"]
+    # 2 families x {uniform, zipf} x alpha {1,2,4} x 4 load points.
+    assert len(rows) == 48, f"expected 48 rows, got {len(rows)}"
+    assert len({r["name"] for r in rows}) == len(rows), "duplicate row names"
+    sweeps = {}  # (family, workload, alpha) -> [(load, row)]
+    for row in rows:
+        for key in CONGESTION_ROW_FIELDS:
+            assert key in row, f"congestion row missing {key!r}"
+        assert 0 < row["p50_ms"] <= row["p99_ms"] <= row["p999_ms"], row
+        assert row["mean_hops"] > 1.0, row
+        # Every serviced request is either a wire probe or a lookup's
+        # local injection at its source (no wire message).
+        assert row["serviced"] <= row["sent"] + row["load_stats"]["queries"], row
+        assert row["retries"] <= row["timeouts"], row
+        # retry_budget resends keep lookups alive through the collapse.
+        assert row["failures"] <= 0.01 * row["load_stats"]["queries"], row
+        # The ledger rides along on every row (same invariants as the
+        # load observatory; the ratio==1.0 check is replaced by the
+        # explicit confinement split below).
+        check_load_section(row["load_stats"], 1)
+        sweeps.setdefault((row["family"], row["workload"], row["alpha"]),
+                          []).append((row["load"], row))
+    families = {f for f, _, _ in sweeps}
+    assert families == {"chord", "crescendo"}, families
+    for (family, workload, alpha), points in sweeps.items():
+        points.sort(key=lambda p: p[0])
+        lo, hi = points[0][1], points[-1][1]
+        label = f"{family}/{workload}/a{alpha}"
+        if workload == "uniform":
+            # No hot key, load far below per-node capacity: every offered
+            # load point stays uncongested and flat.
+            assert hi["p99_ms"] < 1.5 * lo["p99_ms"], (
+                f"{label}: uniform p99 not flat: "
+                f"{[p[1]['p99_ms'] for p in points]}")
+            assert hi["timeouts"] <= 16, (
+                f"{label}: uniform row congested: {hi['timeouts']} timeouts")
+        else:
+            # The knee: nothing times out below saturation, then the hot
+            # key's owner saturates and timeouts jump super-linearly.
+            below, knee = points[0][1], points[2][1]
+            assert below["timeouts"] == 0, (
+                f"{label}: timeouts below saturation: {below['timeouts']}")
+            assert points[1][1]["timeouts"] <= 5, label
+            assert knee["timeouts"] >= 50, (
+                f"{label}: no knee: "
+                f"{[p[1]['timeouts'] for p in points]}")
+            assert hi["timeouts"] >= knee["timeouts"], label
+            assert hi["p99_ms"] > 1.2 * lo["p99_ms"], (
+                f"{label}: p99 did not rise past the knee: "
+                f"{lo['p99_ms']} -> {hi['p99_ms']}")
+        # The §5 split under concurrent traffic: hierarchical lookups stay
+        # inside their transit domain even while congested; flat ones
+        # never do.
+        for _, row in points:
+            ratio = row["confinement"]
+            if family == "crescendo":
+                assert ratio >= 0.95, f"{label}: confinement {ratio} < 0.95"
+            else:
+                assert ratio < 0.2, f"{label}: confinement {ratio} >= 0.2"
+    # The collapse rows (zipf, alpha=2, deepest load) carry the congestion
+    # curve: ordered windows with message and completion rates.
+    curves = [r for r in rows if "timeseries" in r]
+    assert {r["family"] for r in curves} == {"chord", "crescendo"}, (
+        f"expected one congestion curve per family, got "
+        f"{[r['name'] for r in curves]}")
+    for r in curves:
+        assert r["workload"] == "zipf" and r["alpha"] == 2, r["name"]
+        windows = r["timeseries"]
+        assert windows, f"{r['name']}: empty time series"
+        times = [w["t_ms"] for w in windows]
+        assert times == sorted(times), f"{r['name']}: windows out of order"
+        assert any(w["messages_per_s"] > 0 for w in windows), r["name"]
+        assert any(w["lookups_per_s"] > 0 for w in windows), r["name"]
+
+
 def check_scale(binary):
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "report.json")
@@ -558,6 +658,8 @@ def main():
         check_threads_invariant(sys.argv[2], sys.argv[3:])
     elif sys.argv[1] == "--load":
         check_load(sys.argv[2])
+    elif sys.argv[1] == "--congestion":
+        check_congestion(sys.argv[2])
     elif sys.argv[1] == "--scale":
         check_scale(sys.argv[2])
     elif sys.argv[1] == "--resources":

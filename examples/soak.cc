@@ -84,10 +84,15 @@ int main(int argc, char** argv) {
   // Phase 1: concurrent lookups, Poisson-ish arrivals. Failed lookups
   // land in the journal as lookup_failure events.
   EventSimulator sim(net, links);
-  sim.set_journal(journal.get());
   telemetry::TimeSeriesRecorder series(/*window_ms=*/50.0);
-  sim.set_timeseries(&series);
-  if (journal) sim.set_load_snapshots(/*top_k=*/5, /*window_ms=*/200.0);
+  SimSinks sinks;
+  sinks.journal = journal.get();
+  sinks.timeseries = &series;
+  if (journal) {
+    sinks.snapshot_top_k = 5;
+    sinks.snapshot_window_ms = 200.0;
+  }
+  sim.attach(sinks);
   for (std::uint64_t t = 0; t < lookup_count; ++t) {
     const auto from = static_cast<std::uint32_t>(rng.uniform(net.size()));
     sim.submit(from, net.space().wrap(rng()),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "telemetry/journal.h"
 #include "telemetry/load_stats.h"
@@ -15,6 +16,7 @@ EventSimulator::EventSimulator(const OverlayNetwork& net,
       links_(&links),
       latency_(std::move(latency)),
       config_(config),
+      stepper_(make_ring_stepper(net, links)),
       load_(net.size(), 0),
       busy_until_(net.size(), 0),
       dead_(net.size()),
@@ -26,48 +28,84 @@ EventSimulator::EventSimulator(const OverlayNetwork& net,
   }
 }
 
-void EventSimulator::set_trace(telemetry::RouteTraceSink* sink) {
-  sink_ = sink;
-  if (!sink) return;
-  // Backfill begin_lookup for lookups submitted before the sink was
-  // attached so their hop/end events carry a real lookup id.
-  for (std::size_t i = 0; i < lookups_.size(); ++i) {
-    if (!traced_[i] && lookups_[i].completed_ms < 0) {
-      trace_ids_[i] = sink->begin_lookup(lookups_[i].from, lookups_[i].key);
-      traced_[i] = true;
+void EventSimulator::set_stepper(Stepper stepper) {
+  stepper_ = stepper ? std::move(stepper)
+                     : make_ring_stepper(*net_, *links_);
+}
+
+void EventSimulator::attach(const SimSinks& sinks) {
+  sinks.validate();
+  if (sinks.trace != sink_) {
+    sink_ = sinks.trace;
+    if (sink_) {
+      // Backfill begin_lookup for lookups submitted before the sink was
+      // attached so their hop/end events carry a real lookup id.
+      for (std::size_t i = 0; i < lookups_.size(); ++i) {
+        if (!traced_[i] && lookups_[i].completed_ms < 0) {
+          trace_ids_[i] = sink_->begin_lookup(lookups_[i].from,
+                                              lookups_[i].key);
+          traced_[i] = true;
+        }
+      }
     }
   }
+  journal_ = sinks.journal;
+  if (sinks.timeseries != timeseries_) {
+    timeseries_ = sinks.timeseries;
+    if (timeseries_) {
+      // Backfill submissions that have not yet completed, mirroring the
+      // trace sink's retroactive begin_lookup.
+      for (const LookupStats& lk : lookups_) {
+        if (lk.completed_ms < 0) timeseries_->lookup_issued(lk.issued_ms);
+      }
+    }
+  }
+  if (sinks.fault_plan != sinks_.fault_plan) {
+    fault_schedule_.clear();
+    next_fault_ = 0;
+    if (sinks.fault_plan) {
+      const auto events = sinks.fault_plan->events();
+      fault_schedule_.assign(events.begin(), events.end());
+      std::stable_sort(fault_schedule_.begin(), fault_schedule_.end(),
+                       [](const FaultEvent& a, const FaultEvent& b) {
+                         return a.at < b.at;
+                       });
+    }
+  }
+  snapshot_k_ = sinks.snapshot_top_k;
+  snapshot_window_ms_ = sinks.snapshot_window_ms;
+  sinks_ = sinks;
+}
+
+void EventSimulator::set_trace(telemetry::RouteTraceSink* sink) {
+  SimSinks sinks = sinks_;
+  sinks.trace = sink;
+  attach(sinks);
+}
+
+void EventSimulator::set_journal(telemetry::EventJournal* journal) {
+  SimSinks sinks = sinks_;
+  sinks.journal = journal;
+  attach(sinks);
 }
 
 void EventSimulator::set_timeseries(telemetry::TimeSeriesRecorder* series) {
-  timeseries_ = series;
-  if (!series) return;
-  // Backfill submissions that have not yet completed, mirroring
-  // set_trace's retroactive begin_lookup.
-  for (const LookupStats& lk : lookups_) {
-    if (lk.completed_ms < 0) series->lookup_issued(lk.issued_ms);
-  }
+  SimSinks sinks = sinks_;
+  sinks.timeseries = series;
+  attach(sinks);
 }
 
 void EventSimulator::set_fault_plan(const FaultPlan* plan) {
-  fault_schedule_.clear();
-  next_fault_ = 0;
-  if (!plan) return;
-  const auto events = plan->events();
-  fault_schedule_.assign(events.begin(), events.end());
-  std::stable_sort(fault_schedule_.begin(), fault_schedule_.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.at < b.at;
-                   });
+  SimSinks sinks = sinks_;
+  sinks.fault_plan = plan;
+  attach(sinks);
 }
 
 void EventSimulator::set_load_snapshots(int top_k, double window_ms) {
-  if (window_ms <= 0) {
-    throw std::invalid_argument(
-        "EventSimulator::set_load_snapshots: window_ms must be > 0");
-  }
-  snapshot_k_ = top_k;
-  snapshot_window_ms_ = window_ms;
+  SimSinks sinks = sinks_;
+  sinks.snapshot_top_k = top_k;
+  sinks.snapshot_window_ms = window_ms;
+  attach(sinks);
 }
 
 int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
@@ -80,6 +118,7 @@ int EventSimulator::submit(std::uint32_t from, NodeId key, double at_ms) {
   stats.issued_ms = at_ms;
   const int id = static_cast<int>(lookups_.size());
   lookups_.push_back(stats);
+  step_state_.push_back(0);
   trace_ids_.push_back(sink_ ? sink_->begin_lookup(from, key) : 0);
   traced_.push_back(sink_ != nullptr);
   if (timeseries_) timeseries_->lookup_issued(at_ms);
@@ -134,22 +173,6 @@ void EventSimulator::complete_failed(int lookup, double at_ms,
   }
 }
 
-std::uint32_t EventSimulator::next_hop(std::uint32_t node, NodeId key) const {
-  const IdSpace& space = net_->space();
-  const std::uint64_t remaining = space.ring_distance(net_->id(node), key);
-  std::uint32_t best = node;
-  std::uint64_t best_covered = 0;
-  for (const std::uint32_t nb : links_->neighbors(node)) {
-    const std::uint64_t covered =
-        space.ring_distance(net_->id(node), net_->id(nb));
-    if (covered <= remaining && covered > best_covered) {
-      best_covered = covered;
-      best = nb;
-    }
-  }
-  return best;
-}
-
 void EventSimulator::run() {
   const int hop_guard = 4 * net_->space().bits() + 16;
   if (timeseries_) {
@@ -180,11 +203,16 @@ void EventSimulator::run() {
     if (queue_hist_) queue_hist_->record_ms(start - ev.at_ms);
     if (timeseries_) timeseries_->message(ev.at_ms, start - ev.at_ms);
 
-    const std::uint32_t next = next_hop(ev.node, stats.key);
-    if (next == ev.node || stats.hops >= hop_guard) {
+    // One stepper candidate: this engine follows the family's greedy
+    // chain (candidate 0), one message per hop.
+    NodeIndex next = ev.node;
+    const StepResult step = stepper_(
+        ev.node, stats.key,
+        step_state_[static_cast<std::size_t>(ev.lookup)],
+        std::span<NodeIndex>(&next, 1));
+    if (step.done || step.count == 0 || stats.hops >= hop_guard) {
       stats.completed_ms = done;
-      stats.ok = (stats.hops < hop_guard) &&
-                 (ev.node == net_->responsible(stats.key));
+      stats.ok = (stats.hops < hop_guard) && step.done && step.ok;
       if (completed_counter_) completed_counter_->inc();
       if (sink_ && traced_[static_cast<std::size_t>(ev.lookup)]) {
         sink_->end_lookup(trace_ids_[static_cast<std::size_t>(ev.lookup)],

@@ -7,6 +7,16 @@
 // supports the paper's load-homogeneity claim — a hierarchical Canon DHT
 // keeps the flat design's uniform distribution of routing load — and gives
 // end-to-end lookup latency distributions under load.
+//
+// The per-hop decision is a Stepper (overlay/stepper.h): the default is
+// the greedy-clockwise ring stepper, and set_stepper() accepts any
+// family's stepper from the registry's make_stepper hook — the simulator
+// itself knows no family. For message-granularity semantics (per-node
+// inbox queues, timeouts, α-parallel probes) see overlay/message_sim.h;
+// this engine models one message chain per lookup.
+//
+// Observers attach as one SimSinks bundle (overlay/sim_sinks.h); the
+// historical per-field setters survive as thin forwarders.
 #ifndef CANON_OVERLAY_EVENT_SIM_H
 #define CANON_OVERLAY_EVENT_SIM_H
 
@@ -18,6 +28,8 @@
 #include "overlay/link_table.h"
 #include "overlay/metrics.h"
 #include "overlay/overlay_network.h"
+#include "overlay/sim_sinks.h"
+#include "overlay/stepper.h"
 #include "telemetry/metrics.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
@@ -68,45 +80,58 @@ class EventSimulator {
   /// Simulated clock after run().
   double now_ms() const { return now_; }
 
-  /// Attaches a trace sink. Hop events carry the queueing delay the message
-  /// experienced at the forwarding node and the modeled hop latency;
-  /// lookups interleave, so events are keyed by lookup id. May be called
-  /// at any time: lookups submitted before attachment that have not yet
-  /// completed get a retroactive begin_lookup, so every traced lookup's
-  /// hop/end events are keyed to a real id. (Previously a late set_trace
-  /// silently dropped begin_lookup and emitted misattributed events.)
-  /// nullptr detaches; already-completed lookups are never re-traced.
+  /// Replaces the per-hop routing decision (default: the greedy-clockwise
+  /// ring stepper over the construction links). Pass a family's stepper
+  /// from registry::family(name).make_stepper to simulate that family.
+  /// Call before run(); an empty stepper restores the default.
+  void set_stepper(Stepper stepper);
+
+  /// Installs the full observer bundle, replacing whatever was attached
+  /// before (an empty SimSinks detaches everything). Validates the bundle
+  /// once; semantics per field:
+  ///
+  /// * trace — hop events carry queueing delay and modeled hop latency;
+  ///   lookups submitted before attachment that have not yet completed get
+  ///   a retroactive begin_lookup.
+  /// * journal — unsuccessful completions emit lookup_failure; applied
+  ///   fault events emit crash/revive; load snapshots (snapshot_top_k > 0)
+  ///   emit load_snapshot lines every snapshot_window_ms of simulated
+  ///   time plus one final snapshot when run() drains.
+  /// * timeseries — submissions/completions, per-message queueing and the
+  ///   live-node count, keyed on the simulated clock; pending submissions
+  ///   are backfilled as issued on attach.
+  /// * fault_plan — crash/revive schedule applied on the simulated clock
+  ///   (FaultEvent::at is milliseconds). A message arriving at a dead node
+  ///   is lost and its lookup completes failed at the arrival time. The
+  ///   plan's drop probability is ignored here (fail-stop only; the
+  ///   message simulator models drops).
+  /// * load — ignored by this engine (MessageSimulator feeds it).
+  void attach(const SimSinks& sinks);
+
+  /// The currently attached bundle.
+  const SimSinks& sinks() const { return sinks_; }
+
+  /// Deprecated forwarder: edits the attached bundle's trace field.
+  /// Prefer attach().
   void set_trace(telemetry::RouteTraceSink* sink);
 
-  /// Attaches an event journal (see telemetry/journal.h): every lookup
-  /// that completes unsuccessfully emits a lookup_failure event; applied
-  /// fault-plan events emit crash/revive lines; load snapshots (when
-  /// enabled) emit load_snapshot lines. nullptr detaches.
-  void set_journal(telemetry::EventJournal* journal) { journal_ = journal; }
+  /// Deprecated forwarder: edits the attached bundle's journal field.
+  /// Prefer attach().
+  void set_journal(telemetry::EventJournal* journal);
 
-  /// Attaches a windowed time-series recorder keyed on the simulated
-  /// clock: lookup submissions/completions, per-message queueing, and the
-  /// live-node count all feed it. Lookups submitted before attachment
-  /// that have not yet completed are backfilled as issued. nullptr
-  /// detaches.
+  /// Deprecated forwarder: edits the attached bundle's timeseries field.
+  /// Prefer attach().
   void set_timeseries(telemetry::TimeSeriesRecorder* series);
 
-  /// Schedules `plan`'s crash/revive events on the simulated clock
-  /// (FaultEvent::at is taken as milliseconds). A message arriving at a
-  /// dead node is lost and its lookup completes failed at the arrival
-  /// time; the node pays no processing cost and gains no load. The plan's
-  /// drop probability is ignored (the simulator models fail-stop only).
-  /// Applied events are journaled as crash/revive when a journal is
-  /// attached. nullptr detaches; pass before run().
+  /// Deprecated forwarder: edits the attached bundle's fault_plan field.
+  /// Prefer attach().
   void set_fault_plan(const FaultPlan* plan);
 
   /// Live nodes right now (population minus crashed).
   std::size_t live_nodes() const { return dead_.size() - dead_.dead_count(); }
 
-  /// Emits a load_snapshot journal event (top `top_k` loaded nodes) every
-  /// `window_ms` of simulated time, plus one final snapshot when run()
-  /// drains; requires an attached journal. `top_k` <= 0 disables (the
-  /// default).
+  /// Deprecated forwarder: edits the attached bundle's snapshot options.
+  /// Prefer attach().
   void set_load_snapshots(int top_k, double window_ms = 50.0);
 
  private:
@@ -116,9 +141,6 @@ class EventSimulator {
     std::uint32_t node = 0;
     bool operator>(const Event& other) const { return at_ms > other.at_ms; }
   };
-
-  /// Greedy clockwise next hop, or the node itself when it is responsible.
-  std::uint32_t next_hop(std::uint32_t node, NodeId key) const;
 
   /// Applies every scheduled fault with at <= `now` (journaling them and
   /// updating the live-node series).
@@ -136,14 +158,17 @@ class EventSimulator {
   const LinkTable* links_;
   HopCost latency_;
   EventSimConfig config_;
+  Stepper stepper_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::vector<LookupStats> lookups_;
+  std::vector<std::uint64_t> step_state_;  // per-lookup stepper state word
   std::vector<std::uint64_t> load_;
   std::vector<double> busy_until_;
   double now_ = 0;
   FailureSet dead_;
   std::vector<FaultEvent> fault_schedule_;  // stably sorted by time
   std::size_t next_fault_ = 0;
+  SimSinks sinks_;
   telemetry::TimeSeriesRecorder* timeseries_ = nullptr;
   int snapshot_k_ = 0;
   double snapshot_window_ms_ = 50.0;

@@ -209,6 +209,172 @@ FamilyRouter make_group_router(const OverlayNetwork& net,
 }
 
 // ---------------------------------------------------------------------------
+// make_stepper hooks
+//
+// Resumable one-hop versions of the CAN / Can-Can / group routing cores
+// (overlay/stepper.h documents the contract; the ring/XOR steppers live in
+// canon_overlay and their factories go straight into the table). Each
+// closure owns its auxiliary structure via shared_ptr, mirroring the
+// make_router states above.
+
+// CanRouter::route's loop body: candidates grow the zone-tree prefix
+// match, ranked longest-match-first; when no neighbor improves the match,
+// the key's zone may be a short empty-sibling block owned by an adjacent
+// node, so a neighbor owning the key outright is the single fallback.
+Stepper make_can_stepper(const OverlayNetwork& net, const LinkTable& links) {
+  auto tree = std::make_shared<const ZoneTree>(net, net.ring().members());
+  const LinkTable* l = &links;
+  return [tree, l](NodeIndex at, NodeId key, std::uint64_t&,
+                   std::span<NodeIndex> out) -> StepResult {
+    if (tree->owner_of(key) == at) return {0, true, true};
+    const int cur_match = tree->match_len(at, key);
+    detail::TopK top(static_cast<int>(out.size()));
+    for (const std::uint32_t nb : l->neighbors(at)) {
+      if (!tree->contains(nb)) continue;
+      const int m = tree->match_len(nb, key);
+      if (m > cur_match) top.push(static_cast<std::uint64_t>(64 - m), nb);
+    }
+    if (top.count == 0) {
+      for (const std::uint32_t nb : l->neighbors(at)) {
+        if (tree->contains(nb) && tree->owner_of(key) == nb) {
+          out[0] = nb;
+          return {1, false, false};
+        }
+      }
+      return {0, true, false};  // stuck
+    }
+    return {top.emit(out), false, false};
+  };
+}
+
+// CanCanRouter::route's loop body. The lookup-local word packs the stage
+// domain plus the previously visited node: the scalar core keeps a full
+// visited set to guard the XOR fallback against cycles, which cannot ride
+// in 64 bits — the immediate-backtrack guard catches the 2-cycles the
+// fallback actually produces and the simulator's hop guard bounds the
+// rest. state = (prev_node+1) << 32 | (stage_domain+1); 0 = first step.
+Stepper make_cancan_stepper(const OverlayNetwork& net, const LinkTable&) {
+  auto network = std::make_shared<const CanCanNetwork>(net);
+  return [network](NodeIndex at, NodeId key, std::uint64_t& state,
+                   std::span<NodeIndex> out) -> StepResult {
+    const OverlayNetwork& n = network->net();
+    const IdSpace& space = n.space();
+    const DomainTree& dom = n.domains();
+    int stage = state == 0
+                    ? static_cast<int>(dom.domain_chain(at).back())
+                    : static_cast<int>((state & 0xFFFFFFFFu) - 1);
+    const std::uint32_t prev =
+        state == 0 ? at : static_cast<std::uint32_t>((state >> 32) - 1);
+    // Lift the stage toward the root while this node owns the key's zone
+    // in the stage partition; lifting consumes no hop.
+    while (network->tree(stage).owner_of(key) == at) {
+      if (dom.domain(stage).parent < 0) return {0, true, true};
+      stage = dom.domain(stage).parent;
+    }
+    const ZoneTree& t = network->tree(stage);
+    const int cur_match = t.match_len(at, key);
+    detail::TopK top(static_cast<int>(out.size()));
+    for (const std::uint32_t nb : network->links().neighbors(at)) {
+      if (!t.contains(nb) || nb == prev) continue;
+      const int m = t.match_len(nb, key);
+      if (m > cur_match) top.push(static_cast<std::uint64_t>(64 - m), nb);
+    }
+    if (top.count == 0) {
+      // Empty-sibling fallback: a stage neighbor owning the key outright.
+      for (const std::uint32_t nb : network->links().neighbors(at)) {
+        if (t.contains(nb) && nb != prev && t.owner_of(key) == nb) {
+          top.push(0, nb);
+          break;
+        }
+      }
+    }
+    if (top.count == 0) {
+      // Faces the merge filter removed: stage neighbors strictly closer
+      // to the key in XOR distance.
+      const std::uint64_t cur_d = space.xor_distance(n.id(at), key);
+      for (const std::uint32_t nb : network->links().neighbors(at)) {
+        if (!t.contains(nb) || nb == prev) continue;
+        const std::uint64_t d = space.xor_distance(n.id(nb), key);
+        if (d < cur_d) top.push(d, nb);
+      }
+    }
+    if (top.count == 0) return {0, true, false};  // stuck
+    state = (static_cast<std::uint64_t>(at) + 1) << 32 |
+            static_cast<std::uint64_t>(stage + 1);
+    return {top.emit(out), false, false};
+  };
+}
+
+// group_core's loop body: greedy on group distance (never overshooting the
+// target group), ties broken by clockwise ID progress; once inside the
+// target group, the final hop goes straight to the responsible node over
+// the dense group network.
+Stepper make_group_stepper(const OverlayNetwork& net, const LinkTable& links) {
+  auto groups = std::make_shared<const GroupedOverlay>(
+      net, ProximityConfig{}.target_group_size);
+  const OverlayNetwork* n = &net;
+  const LinkTable* l = &links;
+  return [groups, n, l](NodeIndex at, NodeId key, std::uint64_t&,
+                        std::span<NodeIndex> out) -> StepResult {
+    const IdSpace& space = n->space();
+    const int target_group = groups->responsible_group(key);
+    const NodeId target_gid =
+        groups->groups()[static_cast<std::size_t>(target_group)].gid;
+    const std::uint32_t target = groups->responsible(key);
+    if (at == target) return {0, true, true};
+    const NodeId cur_gid = groups->gid_of_node(at);
+    if (cur_gid == target_gid) {
+      if (l->has_link(at, target)) {
+        out[0] = target;
+        return {1, false, false};
+      }
+      return {0, true, false};  // stuck inside the target group
+    }
+    const std::uint64_t remaining_groups =
+        groups->group_distance(cur_gid, target_gid);
+    const std::uint64_t remaining_ids =
+        space.ring_distance(n->id(at), key);
+    // (gcov desc, icov desc) needs a lexicographic two-word rank, so this
+    // one keeps explicit pairs instead of detail::TopK's single metric.
+    // Strictly-greater displacement keeps first-seen order on full ties,
+    // matching the scalar core's running argbest.
+    std::uint64_t gcov[kMaxStepCandidates];
+    std::uint64_t icov[kMaxStepCandidates];
+    NodeIndex node[kMaxStepCandidates];
+    int count = 0;
+    const int cap = static_cast<int>(out.size());
+    for (const std::uint32_t nb : l->neighbors(at)) {
+      const std::uint64_t g =
+          groups->group_distance(cur_gid, groups->gid_of_node(nb));
+      if (g > remaining_groups) continue;  // overshoots the target group
+      const std::uint64_t i = space.ring_distance(n->id(at), n->id(nb));
+      if (g == 0 && i > remaining_ids) continue;
+      if (g == 0 && i == 0) continue;  // no progress at all
+      int pos = count < cap ? count : cap - 1;
+      if (count < cap) {
+        ++count;
+      } else if (g < gcov[cap - 1] ||
+                 (g == gcov[cap - 1] && i <= icov[cap - 1])) {
+        continue;
+      }
+      while (pos > 0 && (gcov[pos - 1] < g ||
+                         (gcov[pos - 1] == g && icov[pos - 1] < i))) {
+        gcov[pos] = gcov[pos - 1];
+        icov[pos] = icov[pos - 1];
+        node[pos] = node[pos - 1];
+        --pos;
+      }
+      gcov[pos] = g;
+      icov[pos] = i;
+      node[pos] = nb;
+    }
+    if (count == 0) return {0, true, false};  // stuck
+    for (int i = 0; i < count; ++i) out[static_cast<std::size_t>(i)] = node[i];
+    return {count, false, false};
+  };
+}
+
+// ---------------------------------------------------------------------------
 // audit hooks
 //
 // Battery composition per family (table in audit/auditor.h); every family
@@ -343,24 +509,31 @@ audit::AuditReport audit_crescendo_prox(const OverlayNetwork& net,
 // the table (canonical doctor-report order)
 
 constexpr FamilyEntry kFamilies[] = {
-    {"chord", build_chord_hook, make_ring_router, audit_chord},
-    {"symphony", build_symphony_hook, make_ring_router, audit_flat_ring},
+    {"chord", build_chord_hook, make_ring_router, audit_chord,
+     make_ring_stepper},
+    {"symphony", build_symphony_hook, make_ring_router, audit_flat_ring,
+     make_ring_stepper},
     {"nondet_chord", build_nondet_chord_hook, make_ring_router,
-     audit_flat_ring},
-    {"kademlia", build_kademlia_hook, make_xor_router, audit_kademlia},
-    {"can", build_can_hook, make_can_router, audit_can},
-    {"crescendo", build_crescendo_hook, make_ring_router, audit_crescendo},
+     audit_flat_ring, make_ring_stepper},
+    {"kademlia", build_kademlia_hook, make_xor_router, audit_kademlia,
+     make_xor_stepper},
+    {"can", build_can_hook, make_can_router, audit_can, make_can_stepper},
+    {"crescendo", build_crescendo_hook, make_ring_router, audit_crescendo,
+     make_ring_stepper},
     {"clique_crescendo", build_clique_crescendo_hook, make_ring_router,
-     audit_clique_crescendo},
-    {"cacophony", build_cacophony_hook, make_ring_router, audit_level_rings},
+     audit_clique_crescendo, make_ring_stepper},
+    {"cacophony", build_cacophony_hook, make_ring_router, audit_level_rings,
+     make_ring_stepper},
     {"nondet_crescendo", build_nondet_crescendo_hook, make_ring_router,
-     audit_level_rings},
-    {"kandy", build_kandy_hook, make_xor_router, audit_kandy},
-    {"cancan", build_cancan_hook, make_cancan_router, audit_cancan},
+     audit_level_rings, make_ring_stepper},
+    {"kandy", build_kandy_hook, make_xor_router, audit_kandy,
+     make_xor_stepper},
+    {"cancan", build_cancan_hook, make_cancan_router, audit_cancan,
+     make_cancan_stepper},
     {"chord_prox", build_chord_prox_hook, make_group_router,
-     audit_chord_prox},
+     audit_chord_prox, make_group_stepper},
     {"crescendo_prox", build_crescendo_prox_hook, make_group_router,
-     audit_crescendo_prox},
+     audit_crescendo_prox, make_group_stepper},
 };
 
 constexpr std::size_t kFamilyCount = std::size(kFamilies);

@@ -41,6 +41,7 @@
 #include "overlay/link_table.h"
 #include "overlay/overlay_network.h"
 #include "overlay/query_engine.h"
+#include "overlay/stepper.h"
 
 namespace canon::registry {
 
@@ -113,6 +114,15 @@ struct FamilyEntry {
   /// in audit/auditor.h). Every family starts with csr + hierarchy.
   audit::AuditReport (*audit)(const OverlayNetwork& net,
                               const LinkTable& links);
+
+  /// Builds the family's resumable one-hop stepper (overlay/stepper.h)
+  /// for the discrete-event simulators: candidate 0 reproduces the hop
+  /// the family's greedy route() would take; later candidates feed
+  /// α-parallel speculation. The CAN families rebuild their deterministic
+  /// auxiliary structures from `net` and the returned closure owns them;
+  /// `net` and `links` themselves are borrowed and must outlive the
+  /// stepper.
+  Stepper (*make_stepper)(const OverlayNetwork& net, const LinkTable& links);
 };
 
 /// All 13 families, in the canonical order the doctor reports them.

@@ -26,6 +26,12 @@ void set_query_grain(std::size_t grain) {
                       std::memory_order_relaxed);
 }
 
+void RunOptions::apply() const {
+  set_parallel_threads(threads);
+  set_query_grain(grain);
+  set_probe_batch_width(batch_width);
+}
+
 std::vector<Query> generate_workload(
     std::size_t count, const Rng& base,
     const std::function<Query(Rng&, std::size_t)>& make) {

@@ -126,6 +126,34 @@ inline constexpr std::size_t kQueryGrain = 256;
 std::size_t query_grain();
 void set_query_grain(std::size_t grain);
 
+/// Everything one batch run depends on besides (workload, router), in one
+/// bag: the three execution knobs every bench used to push through three
+/// process-wide setters (--threads / --grain / --batch-width), plus the
+/// per-run fault plan and trace sink that previously rode as extra
+/// parameters and engine setters. bench::BenchRun builds one from the
+/// standard flags (run_options()); engine overloads taking a RunOptions
+/// apply the knobs and install the sinks for that call only.
+struct RunOptions {
+  /// Worker threads (set_parallel_threads semantics: 0 = hardware
+  /// concurrency, 1 = the exact serial path).
+  int threads = 0;
+  /// Queries per shard (set_query_grain semantics: 0 = kQueryGrain).
+  std::size_t grain = 0;
+  /// Interleaved probe-kernel width (set_probe_batch_width semantics:
+  /// 0 = scalar path).
+  int batch_width = kDefaultProbeBatchWidth;
+  /// Crash/drop schedule for resilient runs; null = fault-free (a
+  /// RunOptions-taking run_resilient then matches run() field-for-field).
+  /// Borrowed.
+  const FaultPlan* fault_plan = nullptr;
+  /// Trace sink installed for the duration of the call (forces the batch
+  /// onto one thread, like QueryEngine::set_trace). Borrowed.
+  telemetry::RouteTraceSink* trace = nullptr;
+
+  /// Installs the three process-wide execution knobs.
+  void apply() const;
+};
+
 /// See the file comment. One engine per overlay; routers are passed per
 /// run() call and only read.
 class QueryEngine {
@@ -197,6 +225,33 @@ class QueryEngine {
           return router.probe(from, key);
         },
         per_query, probe_batch);
+  }
+
+  /// run() under a RunOptions bag: applies the execution knobs, installs
+  /// opts.trace for the duration of the call (restoring the previously
+  /// attached sink after), and runs the plain batch. opts.fault_plan is
+  /// ignored here — use the run_resilient overload for faulty runs.
+  template <typename Router>
+  QueryStats run(std::span<const Query> queries, const Router& router,
+                 const RunOptions& opts,
+                 std::vector<RouteProbe>* per_query = nullptr) {
+    opts.apply();
+    const SinkGuard guard(this, opts.trace);
+    return run(queries, router, per_query);
+  }
+
+  /// run_resilient() under a RunOptions bag; a null opts.fault_plan runs
+  /// fault-free (empty plan).
+  template <typename RRouter>
+  ResilientStats run_resilient(std::span<const Query> queries,
+                               const RRouter& router, const RunOptions& opts,
+                               std::vector<RouteProbe>* per_query = nullptr) {
+    opts.apply();
+    const SinkGuard guard(this, opts.trace);
+    static const FaultPlan kNoFaults;
+    return run_resilient(queries, router,
+                         opts.fault_plan ? *opts.fault_plan : kNoFaults,
+                         per_query);
   }
 
   /// Same, through RingRouter's lookahead variant.
@@ -323,6 +378,21 @@ class QueryEngine {
   }
 
  private:
+  /// Installs a RunOptions trace sink for one call, restoring the
+  /// previously attached sink on scope exit (a null options trace leaves
+  /// the attached sink in place).
+  struct SinkGuard {
+    QueryEngine* engine;
+    telemetry::RouteTraceSink* prev;
+    SinkGuard(QueryEngine* e, telemetry::RouteTraceSink* trace)
+        : engine(e), prev(e->sink_) {
+      if (trace) e->sink_ = trace;
+    }
+    ~SinkGuard() { engine->sink_ = prev; }
+    SinkGuard(const SinkGuard&) = delete;
+    SinkGuard& operator=(const SinkGuard&) = delete;
+  };
+
   /// The path-dependent tallies of full (non-probe) mode: level tracking,
   /// path cost, trace replay, load accounting (into `load_shard` when a
   /// LoadAccountant is attached). Shared by run_batch and

@@ -1,0 +1,50 @@
+#include "overlay/stepper.h"
+
+namespace canon {
+
+Stepper make_ring_stepper(const OverlayNetwork& net, const LinkTable& links) {
+  const OverlayNetwork* n = &net;
+  const LinkTable* l = &links;
+  return [n, l](NodeIndex at, NodeId key, std::uint64_t&,
+                std::span<NodeIndex> out) -> StepResult {
+    const IdSpace& space = n->space();
+    const NodeId cur_id = n->id(at);
+    const std::uint64_t remaining = space.ring_distance(cur_id, key);
+    // Rank progressing neighbors by clockwise distance covered, largest
+    // first: metric = remaining - covered keeps the ascending TopK order
+    // and — with ties preserving insertion order — makes candidate 0 the
+    // first-best winner ring_core / ring_scan_argbest picks.
+    detail::TopK top(static_cast<int>(out.size()));
+    for (const std::uint32_t nb : l->neighbors(at)) {
+      const std::uint64_t covered = space.ring_distance(cur_id, n->id(nb));
+      if (covered == 0 || covered > remaining) continue;
+      top.push(remaining - covered, nb);
+    }
+    if (top.count == 0) {
+      return {0, true, at == n->responsible(key)};
+    }
+    return {top.emit(out), false, false};
+  };
+}
+
+Stepper make_xor_stepper(const OverlayNetwork& net, const LinkTable& links) {
+  const OverlayNetwork* n = &net;
+  const LinkTable* l = &links;
+  return [n, l](NodeIndex at, NodeId key, std::uint64_t&,
+                std::span<NodeIndex> out) -> StepResult {
+    const IdSpace& space = n->space();
+    const std::uint64_t remaining = space.xor_distance(n->id(at), key);
+    detail::TopK top(static_cast<int>(out.size()));
+    for (const std::uint32_t nb : l->neighbors(at)) {
+      const std::uint64_t d = space.xor_distance(n->id(nb), key);
+      if (d >= remaining) continue;
+      top.push(d, nb);
+    }
+    if (top.count == 0) {
+      return {0, true, at == n->xor_closest(key)};
+    }
+    return {top.emit(out), false, false};
+  };
+}
+
+}  // namespace canon
